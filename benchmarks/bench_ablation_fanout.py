@@ -1,0 +1,24 @@
+"""Ablation A1 — 2-deep CP-count sweep at full-machine CO scale.
+
+Validates the design choice behind the paper's min(sqrt(D), 28) rule: the
+merge-time curve over CP counts is high at both extremes and flattest in
+the rule's neighbourhood.
+"""
+
+from repro.experiments import ablation_fanout
+
+
+def test_ablation_fanout(once):
+    result = once(ablation_fanout.run)
+    print()
+    print(result.render())
+
+    sweep = {int(r.x): r.y for r in result.series("2-deep sweep")
+             if r.y is not None}
+    rule_point = min(sweep, key=lambda c: abs(c - 28))
+    best = min(sweep.values())
+    # the paper's rule is within 2x of the sweep's best point
+    assert sweep[rule_point] <= best * 2.0
+    # both extremes are worse than the rule's choice
+    assert sweep[min(sweep)] > sweep[rule_point]
+    assert sweep[max(sweep)] >= sweep[rule_point]

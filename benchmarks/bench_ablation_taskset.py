@@ -1,0 +1,28 @@
+"""Ablation A3 — task-set representation micro-costs on this host.
+
+Validates the wire-size arithmetic that drives Section V: dense labels
+serialize to the job width at every scale; hierarchical labels stay
+proportional to the subtree.
+"""
+
+from repro.experiments import ablation_taskset
+
+
+def test_ablation_taskset(once):
+    result = once(ablation_taskset.run)
+    print()
+    print(result.render())
+
+    dense_bytes = {int(r.x): r.y
+                   for r in result.series("dense serialize (bytes)")}
+    hier_bytes = {int(r.x): r.y
+                  for r in result.series("hierarchical serialize (bytes)")}
+    # dense grows with job width; at 1M tasks it is a megabit (128 KB)
+    assert dense_bytes[1_048_576] == 1_048_576 / 8
+    # hierarchical is far smaller at every width
+    for width in dense_bytes:
+        assert hier_bytes[width] < dense_bytes[width]
+
+    unions = {int(r.x): r.y for r in result.series("dense union")}
+    # micro-costs stay in the microsecond range even at 1M tasks
+    assert unions[1_048_576] < 1e5  # < 0.1 s

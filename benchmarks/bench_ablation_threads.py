@@ -1,0 +1,25 @@
+"""Ablation A2 — threads-per-task sweep (Section VII projections).
+
+Validates the paper's two predictions: sampling slows down linearly in
+thread count; merging slows down far less (thread stacks coalesce).
+"""
+
+import pytest
+
+from repro.experiments import ablation_threads
+
+
+def test_ablation_threads(once):
+    result = once(ablation_threads.run)
+    print()
+    print(result.render())
+
+    sampling = {int(r.x): r.y for r in result.series("sampling")}
+    merge = {int(r.x): r.y for r in result.series("merge")}
+    lo, hi = min(sampling), max(sampling)
+
+    # constant slowdown per thread -> linear growth in thread count
+    assert sampling[hi] / sampling[lo] == pytest.approx(hi / lo, rel=0.15)
+
+    # merge grows far slower than the data multiplier
+    assert merge[hi] / merge[lo] < (hi / lo) / 2

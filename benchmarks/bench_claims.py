@@ -1,0 +1,39 @@
+"""Scalar prose claims: remap 0.66 s at 208K; SBRS relocation 0.088 s;
+LaunchMON 512 daemons in 5.6 s; strcat packing is quadratic."""
+
+import pytest
+
+from repro.experiments import claims
+
+
+def rows_by_series(result):
+    out = {}
+    for row in result.rows:
+        out.setdefault(row.series, {})[int(row.x)] = row.y
+    return out
+
+
+def test_paper_scalar_claims(once):
+    result = once(claims.run)
+    print()
+    print(result.render())
+    data = rows_by_series(result)
+
+    # C1: remap at 208K tasks ~ 0.66 s (simulated)
+    assert data["C1 remap (simulated)"][212992] == pytest.approx(0.66,
+                                                                 rel=0.25)
+    # the real remap on this host is also sub-second
+    assert data["C1 remap (this host, wall)"][212992] < 5.0
+
+    # C2: SBRS relocation of 10KB + 4MB to 128 nodes ~ 0.088 s
+    assert data["C2 SBRS relocation"][128] == pytest.approx(0.088, rel=0.5)
+
+    # C3: LaunchMON 5.6 s at 512 vs serial "over 2 minutes"
+    assert data["C3 LaunchMON @512"][512] == pytest.approx(5.6, rel=0.25)
+    assert data["C3 serial extrapolated @512"][512] > 120.0
+
+    # C4: strcat packing grows faster than cursor packing
+    strcat = data["C4 pack (strcat, wall)"]
+    fast = data["C4 pack (patched, wall)"]
+    top, bottom = max(strcat), min(strcat)
+    assert (strcat[top] / strcat[bottom]) > (fast[top] / fast[bottom])

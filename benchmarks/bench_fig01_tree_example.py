@@ -1,0 +1,22 @@
+"""Figure 1 — regenerate the example 3D trace/space/time prefix tree.
+
+The benchmark runs a full STAT session against the hung 1,024-task ring on
+a BG/L partition and verifies the tree carries exactly the paper's
+equivalence structure (``1022:[0,3-1023]`` / ``1:[1]`` / ``1:[2]``).
+"""
+
+from repro.experiments import fig01_tree_example
+
+
+def test_fig01_tree_example(once):
+    result = once(fig01_tree_example.run)
+    print()
+    print(result.render())
+
+    stats = {row.series: row.y for row in result.rows}
+    assert stats["tasks"] == 1024
+    assert stats["equivalence classes"] == 3
+    assert stats["tree depth (3D)"] >= 8  # BGLML progress recursion present
+    rendering = "\n".join(result.notes)
+    assert "1022:[0,3-1023]" in rendering
+    assert "do_SendOrStall" in rendering

@@ -1,0 +1,34 @@
+"""Figure 2 — STAT startup time, LaunchMON versus MRNet (Atlas).
+
+Acceptance shape: the serial-rsh series is linear and *fails* at 512
+daemons; LaunchMON is ~10x faster at 256 and lands near the paper's 5.6 s
+anchor at 512.
+"""
+
+import pytest
+
+from repro.experiments import fig02_startup_atlas
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig02_startup_atlas(once):
+    result = once(fig02_startup_atlas.run)
+    print()
+    print(result.render())
+
+    rsh = series(result, "mrnet-rsh (1-deep)")
+    lm = series(result, "launchmon (1-deep)")
+
+    # serial launching is linear ...
+    assert rsh[256] / rsh[64] == pytest.approx(4.0, rel=0.15)
+    # ... fails outright at 512 daemons with rsh ...
+    assert rsh[512] is None
+    # ... and would have taken over 2 minutes there.
+    assert rsh[256] * 2 > 120.0
+
+    # LaunchMON: 512 daemons in ~5.6 s, an order of magnitude better.
+    assert lm[512] == pytest.approx(5.6, rel=0.25)
+    assert rsh[256] / lm[256] > 10

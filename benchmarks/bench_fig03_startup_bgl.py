@@ -1,0 +1,41 @@
+"""Figure 3 — STAT startup time on BG/L with various topologies.
+
+Acceptance shape: >100 s even at 1,024 compute nodes; linear growth;
+system software >86% of startup at 64K VN pre-patch; the pre-patch run
+*hangs* at 208K processes; IBM's patches give >2x at 104K CO.
+"""
+
+import pytest
+
+from repro.experiments import fig03_startup_bgl
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig03_startup_bgl(once):
+    result = once(fig03_startup_bgl.run)
+    print()
+    print(result.render())
+
+    pre_co = series(result, "2-deep CO prepatch")
+    post_co = series(result, "2-deep CO patched")
+    pre_vn = series(result, "2-deep VN prepatch")
+    post_vn = series(result, "2-deep VN patched")
+
+    assert post_co[1024] >= 99.0                 # >100 s at 1K nodes
+    assert pre_vn[106496] is None                # hang at 208K processes
+    assert post_vn[106496] is not None           # patched completes
+    assert pre_co[106496] / post_co[106496] > 2  # 2x speedup at 104K CO
+
+    # linear scaling of the patched series
+    d1 = post_co[65536] - post_co[16384]
+    d2 = post_co[106496] - post_co[65536]
+    assert d2 / d1 == pytest.approx((106496 - 65536) / (65536 - 16384),
+                                    rel=0.3)
+
+    # the 86% system-software note is recorded at 64K VN
+    note = next(r.note for r in result.series("2-deep VN prepatch")
+                if r.x == 65536)
+    assert "system software fraction" in note

@@ -1,0 +1,33 @@
+"""Figure 4 — STAT merge time on Atlas with various topologies.
+
+Acceptance shape: the flat tree is linear but still under half a second at
+4,096 tasks; 2-deep and 3-deep scale significantly better.
+"""
+
+import pytest
+
+from repro.experiments import fig04_merge_atlas
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig04_merge_atlas(once):
+    result = once(fig04_merge_atlas.run)
+    print()
+    print(result.render())
+
+    flat = series(result, "1-deep")
+    two = series(result, "2-deep")
+    three = series(result, "3-deep")
+
+    assert flat[4096] < 0.5                       # "under half a second"
+    assert flat[4096] / flat[512] == pytest.approx(8.0, rel=0.5)  # linear
+
+    # deeper trees scale clearly better
+    assert two[4096] < flat[4096]
+    assert three[4096] <= two[4096] * 1.5
+    growth_flat = flat[4096] / flat[64]
+    growth_two = two[4096] / two[64]
+    assert growth_two < growth_flat / 2

@@ -1,0 +1,36 @@
+"""Figure 5 — STAT merge time on BG/L (original bit vectors).
+
+Acceptance shape: the flat tree fails at 16,384 compute nodes (256 I/O
+nodes); 2-deep and 3-deep behave similarly to each other but scale
+*linearly* in task count — the defect Section V diagnoses.
+"""
+
+from repro.experiments import fig05_merge_bgl
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig05_merge_bgl(once):
+    result = once(fig05_merge_bgl.run)
+    print()
+    print(result.render())
+
+    flat = series(result, "1-deep CO")
+    two = series(result, "2-deep CO")
+    three = series(result, "3-deep CO")
+    vn = series(result, "2-deep VN")
+
+    # 1-deep fails at 256 I/O nodes = 16,384 compute nodes
+    assert flat[16384] is None
+    assert flat[8192] is not None
+
+    # 2-deep: linear-ish in tasks, nowhere near logarithmic
+    assert two[106496] / two[4096] > 8.0
+
+    # 2-deep and 3-deep are similar to each other
+    assert 0.3 < two[32768] / three[32768] < 3.0
+
+    # VN reaches 208K tasks and still completes under the original labels
+    assert vn[212992] is not None

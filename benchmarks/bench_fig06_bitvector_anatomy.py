@@ -1,0 +1,25 @@
+"""Figure 6 — original versus optimized bit vector anatomy.
+
+Acceptance shape: the per-edge wire size of the original representation is
+the full job width at every scale (a megabit at a million cores), while
+the optimized daemon-level label stays constant.
+"""
+
+from repro.experiments import fig06_bitvector
+
+
+def test_fig06_bitvector_anatomy(once):
+    result = once(fig06_bitvector.run)
+    print()
+    print(result.render())
+
+    original = {int(r.x): r.y for r in result.series("original (per edge)")}
+    optimized = {int(r.x): r.y
+                 for r in result.series("optimized (daemon edge)")}
+
+    assert original[1_000_000] == 1_000_000          # 1 Mbit per edge
+    assert original[212_992] == 212_992
+    # optimized daemon edges are scale-invariant
+    assert len(set(optimized.values())) == 1
+    # and orders of magnitude smaller at the fringes
+    assert optimized[1_000_000] < original[1_000_000] / 1000

@@ -1,0 +1,40 @@
+"""Figure 7 — optimized versus original bit vector merge time (BG/L).
+
+Acceptance shape: the optimized (hierarchical) representation scales far
+flatter than the original's linear growth; virtual-node mode beats
+co-processor mode at equal task counts because merge cost is bound by the
+daemon count too.
+"""
+
+from repro.experiments import fig07_bitvector_merge
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig07_bitvector_merge(once):
+    result = once(fig07_bitvector_merge.run)
+    print()
+    print(result.render())
+
+    orig_co = series(result, "original CO")
+    opt_co = series(result, "optimized CO")
+    orig_vn = series(result, "original VN")
+    opt_vn = series(result, "optimized VN")
+
+    # optimized wins at full scale on both modes
+    assert opt_co[106496] < orig_co[106496]
+    assert opt_vn[212992] < orig_vn[212992]
+
+    # optimized growth is a fraction of original growth (log vs linear)
+    lo, hi = 4096, 106496
+    growth_orig = orig_co[hi] / orig_co[lo]
+    growth_opt = opt_co[hi] / opt_co[lo]
+    assert growth_opt < growth_orig / 2
+
+    # VN faster than CO at equivalent task counts (daemon-count bound)
+    common = sorted(set(opt_co) & set(opt_vn))
+    assert common
+    for tasks in common:
+        assert opt_vn[tasks] < opt_co[tasks]

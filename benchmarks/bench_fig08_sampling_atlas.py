@@ -1,0 +1,25 @@
+"""Figure 8 — STAT sampling time on Atlas (flat topology, NFS binaries).
+
+Acceptance shape: the aggregate cost grows worse than linearly as daemons
+multiply against the shared NFS server (and accelerates at scale).
+"""
+
+from repro.experiments import fig08_sampling_atlas
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig08_sampling_atlas(once):
+    result = once(fig08_sampling_atlas.run)
+    print()
+    print(result.render())
+
+    nfs = series(result, "NFS (all libraries)")
+    # substantial growth with daemon count ...
+    assert nfs[4096] / nfs[8] > 4.0
+    # ... that accelerates (worse than linear)
+    assert (nfs[4096] - nfs[1024]) > (nfs[1024] - nfs[128])
+    # single-daemon runs stay in the seconds range (walks dominate)
+    assert nfs[8] < 6.0

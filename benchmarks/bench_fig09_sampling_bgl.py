@@ -1,0 +1,40 @@
+"""Figure 9 — STAT sampling time on BG/L with various topologies.
+
+Acceptance shape: scales better than Atlas (one static binary), is slower
+than Atlas at small scale (64/128 processes per daemon), shows >20%
+variation between nominally identical runs, and the 2-deep VN vs 3-deep
+VN pair diverges by around 2x at 212,992 tasks.
+"""
+
+from repro.experiments import fig08_sampling_atlas, fig09_sampling_bgl
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig09_sampling_bgl(once):
+    result = once(fig09_sampling_bgl.run)
+    print()
+    print(result.render())
+
+    co = series(result, "2-deep CO")
+    vn2 = series(result, "2-deep VN")
+    vn3 = series(result, "3-deep VN")
+
+    # >20% divergence between nominally identical VN runs at 208K
+    ratio = max(vn2[212992], vn3[212992]) / min(vn2[212992], vn3[212992])
+    assert ratio > 1.2
+
+    # VN walks twice the processes of CO per daemon
+    assert vn2[16 * 128] > co[16 * 64] * 1.3
+
+    # better scaling than Atlas's Figure 8 growth
+    atlas = series(fig08_sampling_atlas.run(scales=(1, 512)),
+                   "NFS (all libraries)")
+    bgl_growth = co[106496] / co[1024]
+    atlas_growth = atlas[4096] / atlas[8]
+    assert bgl_growth < atlas_growth
+
+    # slower than Atlas at the smallest scales
+    assert min(co.values()) > atlas[8]

@@ -1,0 +1,36 @@
+"""Figure 10 — Atlas sampling with the binary relocation service.
+
+Acceptance shape: the SBRS line is a near-constant ~2 s; NFS grows with
+scale; LUSTRE offers little improvement over NFS at these scales.
+"""
+
+from repro.experiments import fig10_sbrs
+
+
+def series(result, name):
+    return {int(r.x): r.y for r in result.series(name)}
+
+
+def test_fig10_sbrs(once):
+    result = once(fig10_sbrs.run)
+    print()
+    print(result.render())
+
+    nfs = series(result, "NFS")
+    lustre = series(result, "LUSTRE")
+    sbrs = series(result, "SBRS (relocated)")
+
+    # SBRS: "a constant of about 2 seconds regardless of scale"
+    assert all(1.0 <= v <= 3.0 for v in sbrs.values())
+    assert max(sbrs.values()) / min(sbrs.values()) < 1.3
+
+    # NFS grows while SBRS stays flat
+    assert (nfs[1024] - nfs[8]) > 3 * (sbrs[1024] - sbrs[8])
+
+    # "LUSTRE offers little improvement over NFS"
+    assert lustre[1024] <= nfs[1024]
+    assert nfs[1024] / lustre[1024] < 1.5
+
+    # the relocation-overhead note is attached at the top scale
+    top = [r for r in result.series("SBRS (relocated)") if r.x == 1024]
+    assert "relocation overhead" in top[0].note

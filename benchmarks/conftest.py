@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper figure at the paper's own scales
+(see ``src/repro/experiments``) inside ``benchmark.pedantic`` with a single
+round — these are end-to-end experiment replays, not micro-benchmarks, so
+statistical repetition would only multiply minutes of runtime.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each test prints the regenerated series table (the same rows the paper
+plots) and asserts the figure's acceptance shape from DESIGN.md.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper for :func:`run_once`."""
+    def runner(fn, **kwargs):
+        return run_once(benchmark, fn, **kwargs)
+    return runner

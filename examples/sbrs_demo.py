@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""SBRS walkthrough: from file-server thrash to constant-time sampling.
+
+Shows the Section VI story end to end on a 128-daemon Atlas allocation:
+
+1. every daemon parses symbol tables straight off NFS (thrash),
+2. the same on LUSTRE ("little improvement ... at this scale"),
+3. SBRS SIGSTOPs the app, relocates the executable and MPI library over
+   the tool fabric to node-local RAM disks (~0.088 s), interposes open(),
+   and sampling collapses to a ~2 s constant.
+
+Run:  python examples/sbrs_demo.py
+"""
+
+from repro.core.sampling import SamplingConfig
+from repro.experiments.common import timed_sampling
+from repro.machine.atlas import AtlasMachine
+from repro.mpi.stacks import LinuxStackModel
+
+
+def main() -> None:
+    stack_model = LinuxStackModel()
+    config = SamplingConfig(symtab_cached=False, jitter_sigma=0.0)
+
+    print("sampling time (10 samples, max over daemons), Atlas:")
+    print(f"{'daemons':>8} {'tasks':>7} {'NFS s':>8} {'LUSTRE s':>9} "
+          f"{'SBRS s':>8}")
+    for daemons in (1, 8, 32, 128):
+        machine = AtlasMachine.with_nodes(daemons, libraries_on_nfs=False)
+        nfs, _ = timed_sampling(machine, stack_model, staging="nfs",
+                                config=config)
+        lustre, _ = timed_sampling(machine, stack_model, staging="lustre",
+                                   config=config)
+        sbrs, relocation = timed_sampling(machine, stack_model,
+                                          staging="nfs", use_sbrs=True,
+                                          config=config)
+        print(f"{daemons:>8} {machine.total_tasks:>7} "
+              f"{nfs.max_seconds:>8.2f} {lustre.max_seconds:>9.2f} "
+              f"{sbrs.max_seconds:>8.2f}")
+
+    # Detail of the last relocation pass.
+    assert relocation is not None
+    print()
+    print("SBRS relocation report (128 daemons):")
+    for name, seconds in relocation.per_file_seconds.items():
+        print(f"  {name:<14} {seconds * 1e3:7.1f} ms")
+    print(f"  total: {relocation.sim_time * 1e3:.1f} ms for "
+          f"{relocation.bytes_broadcast / 1e6:.2f} MB "
+          f"(paper: 88 ms), plus a {relocation.sigstop_grace_s:.2f} s "
+          f"SIGSTOP grace period")
+    print()
+    print("why SBRS helps twice: the shared-server queue disappears AND "
+          "the SIGSTOPped ranks stop spin-waiting against the daemon.")
+
+
+if __name__ == "__main__":
+    main()

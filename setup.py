@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments without the ``wheel`` package
+(pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Lessons Learned at 208K" (SC 2008).
+
+A production-style Python library reimplementing the Stack Trace Analysis
+Tool (STAT) and every substrate its SC'08 scalability study depends on:
+an MRNet-like tree-based overlay network, LaunchMON-style daemon launching,
+the scalable binary relocation service (SBRS), simulated Atlas and BG/L
+platforms, and a simulated MPI runtime hosting the paper's ring-test
+application with its injected hang.
+
+Quickstart::
+
+    from repro.core.frontend import STATFrontEnd
+    from repro.apps.ring import RingApp
+    from repro.machine.bgl import BGLMachine
+
+    machine = BGLMachine.with_io_nodes(16, mode="co")   # 1,024 tasks
+    fe = STATFrontEnd(machine)
+    result = fe.run(RingApp.with_hang(machine.total_tasks))
+    for cls in result.classes:
+        print(cls.describe())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro.core.equivalence import EquivalenceClass, equivalence_classes
+from repro.core.frames import Frame, StackTrace
+from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.core.prefix_tree import PrefixTree
+from repro.core.taskset import (
+    DaemonLayout,
+    DenseBitVector,
+    HierarchicalTaskSet,
+    RankRemapper,
+    TaskMap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Frame",
+    "StackTrace",
+    "PrefixTree",
+    "DenseBitVector",
+    "HierarchicalTaskSet",
+    "DaemonLayout",
+    "TaskMap",
+    "RankRemapper",
+    "DenseLabelScheme",
+    "HierarchicalLabelScheme",
+    "EquivalenceClass",
+    "equivalence_classes",
+]

@@ -1,0 +1,39 @@
+"""Target applications for the tool to debug.
+
+* :mod:`repro.apps.ring` — the paper's evaluation workload: an MPI ring
+  test (Irecv from the previous rank, Isend to the next, Waitall, Barrier)
+  with an injected bug that stalls task 1 before its send.
+* :mod:`repro.apps.stencil` — an iterative halo-exchange stencil with an
+  optional slow/looping rank, the classic "one task fell behind" triage
+  scenario from the paper's introduction.
+* :mod:`repro.apps.master_worker` — a master/worker task farm with an
+  optional protocol-mismatch deadlock.
+* :mod:`repro.apps.solver` — an iterative solver with an optional
+  collective-consensus (inconsistent convergence) bug.
+* :mod:`repro.apps.bugs` — the injectable fault descriptions shared by the
+  example applications.
+"""
+
+from repro.apps.bugs import (
+    BugSpec,
+    HangBeforeSend,
+    InconsistentConvergence,
+    InfiniteLoop,
+    LostMessage,
+)
+from repro.apps.master_worker import master_worker_program
+from repro.apps.ring import ring_program
+from repro.apps.solver import solver_program
+from repro.apps.stencil import stencil_program
+
+__all__ = [
+    "ring_program",
+    "stencil_program",
+    "master_worker_program",
+    "solver_program",
+    "BugSpec",
+    "HangBeforeSend",
+    "InfiniteLoop",
+    "LostMessage",
+    "InconsistentConvergence",
+]

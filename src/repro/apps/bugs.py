@@ -1,0 +1,76 @@
+"""Injectable faults for the example applications.
+
+Each bug is a small declarative object the application programs consult.
+``HangBeforeSend(rank=1)`` is the paper's exact fault; the others exercise
+further hang classes STAT is designed to triage (compute livelock and
+lost-message deadlock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BugSpec", "HangBeforeSend", "InfiniteLoop", "LostMessage", "NO_BUG"]
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """Base class: a fault bound to one victim rank."""
+
+    rank: int = -1
+
+    def applies_to(self, rank: int) -> bool:
+        """True when this fault triggers on ``rank``."""
+        return rank == self.rank
+
+
+@dataclass(frozen=True)
+class HangBeforeSend(BugSpec):
+    """Stall in user code before posting the send (Section III's bug).
+
+    ``where`` is the user function the stalled task shows in its stack —
+    ``do_SendOrStall`` in Figure 1.
+    """
+
+    rank: int = 1
+    where: str = "do_SendOrStall"
+
+
+@dataclass(frozen=True)
+class InfiniteLoop(BugSpec):
+    """Spin forever inside a compute kernel (livelock / non-convergence)."""
+
+    rank: int = 0
+    where: str = "do_compute_step"
+
+
+@dataclass(frozen=True)
+class LostMessage(BugSpec):
+    """Skip one send entirely, deadlocking the matching receiver."""
+
+    rank: int = 0
+
+
+@dataclass(frozen=True)
+class InconsistentConvergence(BugSpec):
+    """Decide convergence from local data instead of the Allreduce result.
+
+    The victim leaves the iteration loop one collective early; every other
+    rank blocks forever in the next ``Allreduce`` — the
+    collective-consensus bug class exercised by
+    :mod:`repro.apps.solver`.
+    """
+
+    rank: int = 0
+
+
+@dataclass(frozen=True)
+class _NoBug(BugSpec):
+    """The healthy-application control case."""
+
+    def applies_to(self, rank: int) -> bool:
+        return False
+
+
+#: Singleton for bug-free runs.
+NO_BUG = _NoBug()

@@ -1,0 +1,63 @@
+"""A master/worker task farm (third workload class).
+
+Rank 0 hands out work items on demand and sends a poison pill when the
+queue drains; workers loop request → receive → compute.  With a
+:class:`~repro.apps.bugs.LostMessage` bug the master "loses" one worker's
+poison pill, leaving that worker blocked in a receive forever while
+everyone else exits — a hang signature distinct from the ring's (one task
+in ``recv_wait``, the rest ``done``), exercising STAT's ability to spot a
+*small* anomalous class among completed processes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.bugs import BugSpec, LostMessage, NO_BUG
+from repro.mpi.runtime import ANY_SOURCE, RankContext
+
+__all__ = ["master_worker_program"]
+
+_TAG_REQUEST = 1
+_TAG_WORK = 2
+_POISON = ("stop",)
+
+
+def master_worker_program(work_items: int = 16,
+                          bug: BugSpec = NO_BUG,
+                          compute_seconds: float = 1.0e-4):
+    """Build the per-rank farm program (rank 0 is the master).
+
+    ``bug=LostMessage(rank=k)`` drops the poison pill destined for worker
+    ``k`` (k >= 1), deadlocking exactly that worker.
+    """
+    if work_items < 0:
+        raise ValueError("work_items must be >= 0")
+
+    def program(ctx: RankContext) -> Generator:
+        if ctx.size == 1:
+            return
+        if ctx.rank == 0:
+            remaining = work_items
+            workers_left = ctx.size - 1
+            while workers_left:
+                worker = yield from ctx.recv(source=ANY_SOURCE,
+                                             tag=_TAG_REQUEST)
+                if remaining > 0:
+                    ctx.isend(worker, tag=_TAG_WORK,
+                              payload=("work", remaining))
+                    remaining -= 1
+                else:
+                    workers_left -= 1
+                    if isinstance(bug, LostMessage) and bug.rank == worker:
+                        continue  # the lost poison pill
+                    ctx.isend(worker, tag=_TAG_WORK, payload=_POISON)
+        else:
+            while True:
+                ctx.isend(0, tag=_TAG_REQUEST, payload=ctx.rank)
+                item = yield from ctx.recv(source=0, tag=_TAG_WORK)
+                if item == _POISON:
+                    break
+                yield from ctx.compute(compute_seconds, where="do_work_item")
+
+    return program

@@ -1,0 +1,46 @@
+"""The paper's target application: an MPI ring test with an injected hang.
+
+Section III: "Each task does an MPI Irecv from the previous task in the
+ring and an MPI Isend to the next task, followed by an MPI Waitall and an
+MPI Barrier. The injected bug causes MPI task 1 to hang before its send."
+
+The observable consequence (Figure 1): task 1 sits in user code
+(``do_SendOrStall``), task 2 — whose receive from task 1 can never match —
+blocks in ``PMPI_Waitall``, and every other task blocks in
+``PMPI_Barrier`` waiting for 1 and 2.  Nothing below scripts that outcome;
+it falls out of the message-matching semantics in
+:mod:`repro.mpi.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.bugs import BugSpec, HangBeforeSend
+from repro.mpi.runtime import RankContext
+
+__all__ = ["ring_program"]
+
+
+def ring_program(bug: BugSpec = HangBeforeSend(rank=1),
+                 compute_seconds: float = 1.0e-4):
+    """Build the per-rank ring program with ``bug`` injected.
+
+    Returns a generator function suitable for
+    :meth:`repro.mpi.runtime.MPIRuntime.run_program`.  Pass
+    ``bug=repro.apps.bugs.NO_BUG`` for the healthy control run (every rank
+    completes; STAT would report a single equivalence class).
+    """
+
+    def program(ctx: RankContext) -> Generator:
+        yield from ctx.compute(compute_seconds, where="do_setup")
+        recv_req = ctx.irecv(source=ctx.prev, tag=0)
+        if isinstance(bug, HangBeforeSend) and bug.applies_to(ctx.rank):
+            yield from ctx.stall(where=bug.where)  # never returns
+        send_req = ctx.isend(ctx.next, tag=0, payload=ctx.rank)
+        yield from ctx.waitall([recv_req, send_req])
+        assert recv_req.payload == ctx.prev, \
+            f"rank {ctx.rank} received {recv_req.payload}, expected {ctx.prev}"
+        yield from ctx.barrier()
+
+    return program

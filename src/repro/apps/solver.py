@@ -1,0 +1,58 @@
+"""An iterative solver with a convergence-consensus bug (fourth workload).
+
+Each iteration: compute a local residual, ``Allreduce`` it, and stop when
+the *global* residual is small.  The injected
+:class:`~repro.apps.bugs.InconsistentConvergence` bug makes the victim
+rank test its **local** residual instead of the reduced one — a textbook
+collective-consensus bug.  The victim exits the loop an iteration early
+and proceeds to the final barrier while everyone else enters the next
+``Allreduce``, which can never complete: STAT shows one task under
+``PMPI_Barrier`` and P-1 under ``PMPI_Allreduce``, the mirror image of
+the ring hang's signature.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.bugs import BugSpec, InconsistentConvergence, NO_BUG
+from repro.mpi.runtime import RankContext
+
+__all__ = ["solver_program"]
+
+
+def solver_program(iterations: int = 6,
+                   converge_at: int = 4,
+                   bug: BugSpec = NO_BUG,
+                   compute_seconds: float = 1.0e-4):
+    """Build the per-rank solver program.
+
+    The residual model is deterministic: globally, the solve converges at
+    iteration ``converge_at``.  With
+    ``bug=InconsistentConvergence(rank=k)`` rank ``k``'s *local* test
+    fires one iteration earlier, desynchronizing the collective sequence.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if not 1 <= converge_at <= iterations:
+        raise ValueError("converge_at must be within the iteration budget")
+
+    def program(ctx: RankContext) -> Generator:
+        threshold = 1.0
+        for it in range(iterations):
+            yield from ctx.compute(compute_seconds, where="do_solve_step")
+            # Residuals shrink each iteration; sized so that the *global*
+            # sum crosses the threshold exactly at `converge_at`.
+            local = threshold / (ctx.size * (2.0 ** (it + 1 - converge_at)))
+            buggy = (isinstance(bug, InconsistentConvergence)
+                     and bug.applies_to(ctx.rank))
+            if buggy and local * ctx.size < threshold:
+                # The bug: consult the local residual and skip the
+                # collective everyone else is about to enter.
+                break
+            total = yield from ctx.allreduce(local)
+            if total < threshold:
+                break
+        yield from ctx.barrier()
+
+    return program

@@ -1,0 +1,52 @@
+"""A 1-D halo-exchange stencil application (second workload class).
+
+Each rank repeatedly exchanges halos with both neighbours and then
+computes.  With an :class:`~repro.apps.bugs.InfiniteLoop` bug, the victim
+rank enters a never-terminating compute kernel; its neighbours block in
+``Waitall`` on the next exchange, their neighbours one iteration later,
+and the hang front spreads outward — the classic "one slow rank" wave that
+motivates equivalence-class triage (neighbours form distinct classes from
+the far field).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.bugs import BugSpec, InfiniteLoop, NO_BUG
+from repro.mpi.runtime import RankContext
+
+__all__ = ["stencil_program"]
+
+
+def stencil_program(iterations: int = 4,
+                    bug: BugSpec = NO_BUG,
+                    compute_seconds: float = 1.0e-4):
+    """Build the per-rank stencil program.
+
+    Ranks form a line (not a ring): rank 0 and rank P-1 have one neighbour
+    each.  ``bug=InfiniteLoop(rank=k)`` makes rank ``k`` spin forever in
+    its compute kernel during iteration 1.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    def program(ctx: RankContext) -> Generator:
+        left = ctx.rank - 1 if ctx.rank > 0 else None
+        right = ctx.rank + 1 if ctx.rank < ctx.size - 1 else None
+        for it in range(iterations):
+            requests = []
+            if left is not None:
+                requests.append(ctx.irecv(source=left, tag=it))
+                requests.append(ctx.isend(left, tag=it, payload=("halo", it)))
+            if right is not None:
+                requests.append(ctx.irecv(source=right, tag=it))
+                requests.append(ctx.isend(right, tag=it, payload=("halo", it)))
+            yield from ctx.waitall(requests)
+            if (isinstance(bug, InfiniteLoop) and bug.applies_to(ctx.rank)
+                    and it == 1):
+                yield from ctx.stall(where=bug.where)  # never returns
+            yield from ctx.compute(compute_seconds, where="do_compute_step")
+        yield from ctx.barrier()
+
+    return program

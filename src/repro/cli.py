@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro`` / ``stat-repro``.
+
+Commands
+--------
+``demo``
+    Run the paper's headline scenario end to end (ring test, injected
+    hang, full STAT session) and print the phase timings, the 3D prefix
+    tree, and the equivalence classes.
+``figure <id>``
+    Regenerate one paper figure's series and print the rows
+    (``fig1`` .. ``fig10``, ``claims``, ``ablation-*``).
+``list``
+    List available figure/claim ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.experiments import REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="stat-repro",
+        description="Reproduction of 'Lessons Learned at 208K: Towards "
+                    "Debugging Millions of Cores' (SC 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the ring-hang debugging demo")
+    demo.add_argument("--machine", choices=("atlas", "bgl"), default="bgl")
+    demo.add_argument("--daemons", type=int, default=16,
+                      help="compute nodes (atlas) or I/O nodes (bgl)")
+    demo.add_argument("--mode", choices=("co", "vn"), default="co",
+                      help="BG/L execution mode")
+    demo.add_argument("--samples", type=int, default=10)
+    demo.add_argument("--sbrs", action="store_true",
+                      help="relocate binaries before sampling")
+    demo.add_argument("--topology", default=None,
+                      help='shape string, e.g. "flat", "8x8", "bgl-2deep"')
+    demo.add_argument("--save", metavar="DIR", default=None,
+                      help="persist the session to DIR")
+    demo.add_argument("--seed", type=int, default=208_000)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("id", choices=sorted(REGISTRY))
+    figure.add_argument("--quick", action="store_true",
+                        help="smaller scale list (seconds, not minutes)")
+    figure.add_argument("--chart", action="store_true",
+                        help="append an ASCII log-log chart")
+
+    repro_all = sub.add_parser(
+        "reproduce-all",
+        help="regenerate every figure into a Markdown report")
+    repro_all.add_argument("--out", metavar="FILE", default=None,
+                           help="write the report here (default: stdout)")
+    repro_all.add_argument("--quick", action="store_true",
+                           help="smoke scales (~30 s) instead of full")
+    repro_all.add_argument("--only", nargs="*", default=None,
+                           metavar="ID", help="subset of figure ids")
+
+    inspect = sub.add_parser(
+        "inspect", help="triage a saved session directory")
+    inspect.add_argument("directory")
+    inspect.add_argument("--rank", type=int, default=None,
+                         help="show every path this rank was observed on")
+    inspect.add_argument("--function", default=None,
+                         help="show tasks observed inside this function")
+
+    sub.add_parser("list", help="list figure/claim ids")
+    return parser
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    from repro.core.frontend import STATFrontEnd
+    from repro.core.session import save_session
+    from repro.core.visualize import to_ascii
+    from repro.machine.atlas import AtlasMachine
+    from repro.machine.bgl import BGLMachine
+    from repro.statbench import ring_hang_states
+    from repro.tbon.spec import parse_shape
+
+    if args.machine == "atlas":
+        machine = AtlasMachine.with_nodes(args.daemons)
+    else:
+        machine = BGLMachine.with_io_nodes(args.daemons, args.mode)
+    print(f"# {machine.describe()}")
+    topology = (parse_shape(args.topology, machine.num_daemons)
+                if args.topology else None)
+    fe = STATFrontEnd(machine, topology=topology, seed=args.seed)
+    result = fe.attach_and_analyze(
+        ring_hang_states(machine.total_tasks),
+        num_samples=args.samples, use_sbrs=args.sbrs)
+    print(result.summary())
+    print()
+    print("3D trace-space-time call graph prefix tree (6 levels):")
+    print(to_ascii(result.tree_3d.truncated_at_depth(6)))
+    print()
+    reps = [c.representative for c in result.classes]
+    print(f"attach a heavyweight debugger to ranks: {reps}")
+    if args.save:
+        out = save_session(result, args.save, machine_name=machine.name)
+        print(f"session saved to {out}")
+    return 0
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    from repro.core.queries import TreeQuery
+    from repro.core.session import load_session
+    from repro.core.visualize import to_ascii
+
+    archive = load_session(args.directory)
+    print(f"# session: machine={archive.meta.get('machine')!r}")
+    for name, seconds in archive.timings.items():
+        print(f"#   {name:<10} {seconds:10.3f} s")
+    query = TreeQuery(archive.tree_3d)
+    if args.rank is not None:
+        print(f"rank {args.rank} was observed on:")
+        for path in query.where_is(args.rank):
+            print(f"  {path}")
+        return 0
+    if args.function is not None:
+        tasks = query.tasks_in_function(args.function)
+        from repro.core.ranklist import format_edge_label
+        print(f"tasks inside {args.function!r}: "
+              f"{format_edge_label(tasks.to_ranks().tolist())}")
+        return 0
+    print(to_ascii(archive.tree_3d.truncated_at_depth(6)))
+    print()
+    print("classes:")
+    for cls in archive.classes:
+        print(f"  {cls.label()}")
+    outliers = query.outliers(max_class_size=1)
+    if outliers:
+        print("suspect singleton positions:")
+        for path, ranks in outliers:
+            print(f"  rank {ranks}: {path}")
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    module = importlib.import_module(REGISTRY[args.id])
+    result = module.run(quick=args.quick)
+    print(result.render())
+    if args.chart:
+        from repro.experiments.charts import render_chart
+        print()
+        print(render_chart(result))
+    return 0
+
+
+def _run_reproduce_all(args: argparse.Namespace) -> int:
+    from repro.experiments.report import reproduce_all
+    report = reproduce_all(out_path=args.out, quick=args.quick,
+                           only=args.only, progress=args.out is not None)
+    if args.out is None:
+        print(report)
+    else:
+        print(f"report written to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _run_demo(args)
+        if args.command == "figure":
+            return _run_figure(args)
+        if args.command == "reproduce-all":
+            return _run_reproduce_all(args)
+        if args.command == "inspect":
+            return _run_inspect(args)
+        if args.command == "list":
+            for key in sorted(REGISTRY):
+                print(key)
+            return 0
+    except BrokenPipeError:  # e.g. `stat-repro inspect ... | head`
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

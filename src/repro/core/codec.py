@@ -1,0 +1,195 @@
+"""Binary wire codec for call-graph prefix trees.
+
+The TBO̅N timing model charges links using ``serialized_bytes()``; this
+module makes that accounting *honest* by actually implementing the wire
+format — trees (with either label representation) round-trip through
+``pack_tree`` / ``unpack_tree``, and the encoded length equals the size
+model's prediction.  The same codec doubles as a session file format
+(see :mod:`repro.core.session`), so a front end can persist a merged tree
+and a GUI or later analysis can reload it.
+
+Wire format (all integers little-endian):
+
+* tree header: magic ``b'STPT'``, u8 version, u8 label kind, u16 reserved
+* recursively, per node (preorder): frame (u32 function length + bytes,
+  u16 module length + bytes), label, u32 child count
+* dense label: u32 width in bits + packed bytes
+* hierarchical label: u32 chunk count, per chunk (u32 daemon id, u32 width)
+  — the 64-bit header per chunk of the wire model — then packed bytes
+
+The per-node ``+8`` in :meth:`PrefixTree.serialized_bytes` covers the
+child count plus framing; the codec matches it exactly, which is asserted
+by tests and by :func:`verify_size_model`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.core.frames import Frame
+from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.core.taskset import DaemonLayout, DenseBitVector, \
+    HierarchicalTaskSet
+
+__all__ = ["pack_tree", "unpack_tree", "verify_size_model", "CodecError"]
+
+_MAGIC = b"STPT"
+_VERSION = 1
+_KIND_DENSE = 0
+_KIND_HIERARCHICAL = 1
+
+
+class CodecError(ValueError):
+    """Malformed buffer or unsupported label type."""
+
+
+def _label_kind(tree: PrefixTree) -> int:
+    for _, label in tree.edges():
+        if isinstance(label, DenseBitVector):
+            return _KIND_DENSE
+        if isinstance(label, HierarchicalTaskSet):
+            return _KIND_HIERARCHICAL
+        raise CodecError(f"unsupported label type {type(label).__name__}")
+    return _KIND_DENSE  # empty tree: kind is irrelevant
+
+
+def _pack_frame(out: List[bytes], frame: Frame) -> None:
+    fn = frame.function.encode()
+    mod = frame.module.encode()
+    out.append(struct.pack("<I", len(fn)))
+    out.append(fn)
+    out.append(struct.pack("<H", len(mod)))
+    out.append(mod)
+
+
+def _pack_label(out: List[bytes], label: Any, kind: int) -> None:
+    if kind == _KIND_DENSE:
+        if not isinstance(label, DenseBitVector):
+            raise CodecError("mixed label types in one tree")
+        out.append(struct.pack("<I", label.width))
+        out.append(label.data.tobytes())
+    else:
+        if not isinstance(label, HierarchicalTaskSet):
+            raise CodecError("mixed label types in one tree")
+        layout = label.layout
+        out.append(struct.pack("<I", len(layout)))
+        for daemon_id, width in zip(layout.daemon_ids, layout.widths):
+            out.append(struct.pack("<II", daemon_id, width))
+        out.append(label.data.tobytes())
+
+
+def pack_tree(tree: PrefixTree) -> bytes:
+    """Serialize a tree (and its labels) to bytes."""
+    kind = _label_kind(tree)
+    out: List[bytes] = [_MAGIC, struct.pack("<BBH", _VERSION, kind, 0)]
+
+    def rec(node: PrefixTreeNode) -> None:
+        out.append(struct.pack("<I", len(node.children)))
+        for frame, child in node.children.items():
+            _pack_frame(out, frame)
+            _pack_label(out, child.tasks, kind)
+            rec(child)
+
+    rec(tree.root)
+    return b"".join(out)
+
+
+class _Reader:
+    """Cursor over a packed buffer with bounds checking."""
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.buf):
+            raise CodecError(
+                f"truncated buffer: need {n} bytes at offset {self.pos}")
+        chunk = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def done(self) -> bool:
+        return self.pos == len(self.buf)
+
+
+def _unpack_frame(r: _Reader) -> Frame:
+    fn = r.take(r.u32()).decode()
+    mod = r.take(r.u16()).decode()
+    return Frame(fn, mod)
+
+
+def _unpack_label(r: _Reader, kind: int) -> Any:
+    if kind == _KIND_DENSE:
+        width = r.u32()
+        nbytes = (width + 7) // 8
+        data = np.frombuffer(r.take(nbytes), dtype=np.uint8).copy()
+        return DenseBitVector(width, data)
+    chunks = r.u32()
+    ids: List[int] = []
+    widths: List[int] = []
+    for _ in range(chunks):
+        daemon_id, width = struct.unpack("<II", r.take(8))
+        ids.append(daemon_id)
+        widths.append(width)
+    layout = DaemonLayout(ids, widths)
+    data = np.frombuffer(r.take(layout.nbytes), dtype=np.uint8).copy()
+    return HierarchicalTaskSet(layout, data)
+
+
+def unpack_tree(buf: bytes) -> PrefixTree:
+    """Inverse of :func:`pack_tree`; validates framing strictly."""
+    r = _Reader(buf)
+    if r.take(4) != _MAGIC:
+        raise CodecError("bad magic: not a packed prefix tree")
+    version, kind = r.u8(), r.u8()
+    r.u16()  # reserved
+    if version != _VERSION:
+        raise CodecError(f"unsupported version {version}")
+    if kind not in (_KIND_DENSE, _KIND_HIERARCHICAL):
+        raise CodecError(f"unknown label kind {kind}")
+
+    tree = PrefixTree()
+
+    def rec(node: PrefixTreeNode) -> None:
+        for _ in range(r.u32()):
+            frame = _unpack_frame(r)
+            label = _unpack_label(r, kind)
+            child = PrefixTreeNode(frame, label)
+            node.children[frame] = child
+            rec(child)
+
+    rec(tree.root)
+    if not r.done():
+        raise CodecError(f"{len(buf) - r.pos} trailing bytes")
+    return tree
+
+
+def verify_size_model(tree: PrefixTree, tolerance: float = 0.15) -> Tuple[int, int]:
+    """Check the analytic wire-size model against the real encoding.
+
+    Returns ``(modelled, actual)`` byte counts; raises ``AssertionError``
+    when they diverge by more than ``tolerance`` (relative).  Used in tests
+    to keep the TBO̅N timing model honest as formats evolve.
+    """
+    modelled = tree.serialized_bytes()
+    actual = len(pack_tree(tree))
+    if modelled == 0 and actual == 0:
+        return modelled, actual
+    if abs(modelled - actual) > tolerance * max(modelled, actual):
+        raise AssertionError(
+            f"wire-size model drifted: modelled {modelled} vs actual "
+            f"{actual} bytes")
+    return modelled, actual

@@ -1,0 +1,47 @@
+"""The STAT filter as seen by the TBO̅N.
+
+MRNet filters are callables installed at every internal tree node; STAT's
+"custom STAT filter efficiently merges the stack traces as they propagate
+up the communication tree" (Section II).  This module packages a
+:class:`~repro.core.merge.LabelScheme`'s merge as the three callables the
+:class:`~repro.tbon.network.TBONetwork` reducer needs: the merge body, the
+wire-size model, and the tree-complexity measure for the filter CPU model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.merge import LabelScheme
+from repro.core.prefix_tree import PrefixTree
+
+__all__ = ["STATFilter"]
+
+
+class STATFilter:
+    """Bundle of reducer callables for one label scheme."""
+
+    def __init__(self, scheme: LabelScheme) -> None:
+        self.scheme = scheme
+        self.invocations = 0
+        self.trees_merged = 0
+
+    def merge(self, payloads: List[PrefixTree]) -> PrefixTree:
+        """Filter body: merge children's trees (really executes)."""
+        self.invocations += 1
+        self.trees_merged += len(payloads)
+        return self.scheme.merge(payloads)
+
+    @staticmethod
+    def payload_nbytes(tree: PrefixTree) -> int:
+        """Wire size of a tree packet (drives link-transfer times)."""
+        return tree.serialized_bytes()
+
+    @staticmethod
+    def payload_nodes(tree: PrefixTree) -> int:
+        """Tree complexity (drives filter CPU time)."""
+        return tree.node_count()
+
+    def __repr__(self) -> str:
+        return (f"<STATFilter scheme={self.scheme.name} "
+                f"invocations={self.invocations}>")

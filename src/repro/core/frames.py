@@ -1,0 +1,117 @@
+"""Stack frames and stack traces.
+
+A :class:`Frame` is one level of a call stack — a function name plus the
+module (executable or shared library) that defines it.  The module matters
+twice in this reproduction: it keys symbol-table lookups against the file
+system model (Section VI), and it distinguishes identically named functions
+from different libraries when traces merge.
+
+A :class:`StackTrace` is an immutable root→leaf tuple of frames, optionally
+qualified by a thread id (Section VII: STAT's planned thread support keeps
+the *process* as the unit of representation, so the thread id never enters
+the prefix tree — it only multiplies the number of traces gathered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["Frame", "StackTrace", "ROOT_FRAME"]
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One call-stack level: ``function`` defined in ``module``.
+
+    ``module`` is the basename the daemons would resolve through the file
+    system ("app", "libmpi.so", ...).  Equality and hashing include it, so
+    a ``poll`` in the MPI library never merges with a ``poll`` in the app.
+    """
+
+    function: str
+    module: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise ValueError("frame function name must be non-empty")
+
+    def serialized_bytes(self) -> int:
+        """Wire-size model: length-prefixed function and module names."""
+        return 4 + len(self.function) + 2 + len(self.module)
+
+    def __str__(self) -> str:
+        return self.function
+
+
+#: Sentinel frame for the artificial root of every prefix tree.
+ROOT_FRAME = Frame("/")
+
+
+@dataclass(frozen=True, slots=True)
+class StackTrace:
+    """An immutable call path, ordered root (``frames[0]``) to leaf.
+
+    ``thread_id`` identifies which thread of the process produced the walk;
+    it is metadata only and does not participate in equality of the *path*
+    (two threads on the same path produce mergeable traces), so it is
+    excluded from comparisons.
+    """
+
+    frames: Tuple[Frame, ...]
+    thread_id: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.frames, tuple):
+            object.__setattr__(self, "frames", tuple(self.frames))
+        if not self.frames:
+            raise ValueError("a stack trace needs at least one frame")
+
+    @classmethod
+    def from_names(cls, names: Iterable[str], module: str = "",
+                   thread_id: int = 0) -> "StackTrace":
+        """Build a trace from bare function names (single module)."""
+        return cls(tuple(Frame(n, module) for n in names), thread_id=thread_id)
+
+    @property
+    def depth(self) -> int:
+        """Number of frames."""
+        return len(self.frames)
+
+    @property
+    def leaf(self) -> Frame:
+        """Innermost frame (where the program counter was)."""
+        return self.frames[-1]
+
+    @property
+    def root(self) -> Frame:
+        """Outermost frame (process entry point)."""
+        return self.frames[0]
+
+    def prefix(self, depth: int) -> "StackTrace":
+        """The first ``depth`` frames as a new trace."""
+        if not 1 <= depth <= len(self.frames):
+            raise ValueError(f"depth must be in [1, {len(self.frames)}]")
+        return StackTrace(self.frames[:depth], thread_id=self.thread_id)
+
+    def extended(self, frame: Frame) -> "StackTrace":
+        """A new trace with one more leaf frame."""
+        return StackTrace(self.frames + (frame,), thread_id=self.thread_id)
+
+    def is_prefix_of(self, other: "StackTrace") -> bool:
+        """True when this path is an ancestor-or-equal of ``other``."""
+        return (len(self.frames) <= len(other.frames)
+                and other.frames[:len(self.frames)] == self.frames)
+
+    def serialized_bytes(self) -> int:
+        """Wire-size model for one raw trace."""
+        return 4 + sum(f.serialized_bytes() for f in self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __str__(self) -> str:
+        return " > ".join(f.function for f in self.frames)

@@ -1,0 +1,275 @@
+"""The STAT front end: the full launch → sample → merge → report pipeline.
+
+"Conceptually, STAT has three main components: the front end, the tool
+daemons, and the stack trace analysis routine" (Section II).  The front
+end implemented here orchestrates one complete debugging session on a
+simulated platform and reports the paper's three measured phases
+separately — "the launch time of the daemons; the daemons' local gathering
+and aggregation of stack traces; and the aggregation of locally-merged
+results to the final call graph prefix tree at the front end"
+(Section III) — plus the Section V-C remap step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.equivalence import EquivalenceClass, triage_classes
+from repro.core.merge import (
+    DenseLabelScheme,
+    HierarchicalLabelScheme,
+    LabelScheme,
+)
+from repro.core.prefix_tree import PrefixTree
+from repro.core.sampling import SamplingConfig, SamplingTimeReport, \
+    time_sampling_phase
+from repro.core.taskset import TaskMap
+from repro.fs.binary import stage_binaries
+from repro.fs.lustre import LustreServer
+from repro.fs.mtab import MountTable
+from repro.fs.nfs import NFSServer
+from repro.fs.ramdisk import RamDisk
+from repro.fs.sbrs import SBRS, RelocationReport
+from repro.fs.server import LocalDisk
+from repro.launch.base import Launcher, LaunchResult
+from repro.launch.ciod import BglSystemLauncher
+from repro.launch.launchmon import LaunchMonLauncher
+from repro.machine.base import MachineModel
+from repro.mpi.runtime import MPIRuntime, RankState
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel, StackModel
+from repro.sim.engine import Engine
+from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
+from repro.tbon.network import DaemonFailure, ReduceResult, TBONetwork
+from repro.tbon.topology import Topology
+
+__all__ = ["STATFrontEnd", "STATResult"]
+
+#: Simulated remap cost per (label, task) bit — calibrated so the full
+#: 208K-task remap of a Figure-1-sized tree (~38 edge labels across the 2D
+#: and 3D trees) costs ~0.66 s (Section V-C).
+REMAP_SECONDS_PER_LABEL_BIT = 8.0e-8
+REMAP_SECONDS_PER_LABEL = 5.0e-6
+
+
+@dataclass
+class STATResult:
+    """Everything one STAT session produced."""
+
+    #: rank-ordered, dense-labelled 2D tree (last sample)
+    tree_2d: PrefixTree
+    #: rank-ordered, dense-labelled 3D tree (all samples)
+    tree_3d: PrefixTree
+    #: equivalence classes from the 2D tree, largest first
+    classes: List[EquivalenceClass]
+    launch: LaunchResult
+    sampling: SamplingTimeReport
+    merge: ReduceResult
+    relocation: Optional[RelocationReport] = None
+    #: simulated seconds per phase
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end simulated session time."""
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        """Multi-line phase/classes report."""
+        lines = [
+            "STAT session summary",
+            *(f"  {k:<12} {v:10.3f} s" for k, v in self.timings.items()),
+            f"  {'total':<12} {self.total_seconds:10.3f} s",
+            f"  equivalence classes: {len(self.classes)}",
+        ]
+        for cls in self.classes:
+            lines.append(f"    {cls.label()}")
+        return "\n".join(lines)
+
+
+class STATFrontEnd:
+    """One tool session bound to a machine, topology, and label scheme."""
+
+    def __init__(self, machine: MachineModel,
+                 topology: Optional[Topology] = None,
+                 scheme: Optional[LabelScheme] = None,
+                 launcher: Optional[Launcher] = None,
+                 stack_model: Optional[StackModel] = None,
+                 seed: int = 208_000) -> None:
+        self.machine = machine
+        self.topology = topology or self.default_topology(machine)
+        self.scheme = scheme or HierarchicalLabelScheme()
+        self.launcher = launcher or self.default_launcher(machine)
+        self.stack_model = stack_model or self.default_stack_model(machine)
+        self.seed = seed
+
+    # -- platform defaults ---------------------------------------------------
+    @staticmethod
+    def default_topology(machine: MachineModel) -> Topology:
+        """2-deep balanced for >64 daemons, flat otherwise."""
+        d = machine.num_daemons
+        if d <= 64:
+            return Topology.flat(d)
+        if machine.name.startswith("bgl"):
+            return Topology.bgl_two_deep(d)
+        return Topology.balanced(d, 2)
+
+    @staticmethod
+    def default_launcher(machine: MachineModel) -> Launcher:
+        """BG/L needs its control system; clusters use LaunchMON."""
+        if machine.name.startswith("bgl"):
+            return BglSystemLauncher(patched=True)
+        return LaunchMonLauncher()
+
+    @staticmethod
+    def default_stack_model(machine: MachineModel) -> StackModel:
+        """Frame vocabulary matching the platform."""
+        if machine.name.startswith("bgl"):
+            return BGLStackModel()
+        return LinuxStackModel()
+
+    # -- application helpers ---------------------------------------------------
+    def run_application(self, program: Callable,
+                        max_steps: Optional[int] = None) -> MPIRuntime:
+        """Run the target app on a fresh engine until it hangs/finishes."""
+        runtime = MPIRuntime(Engine(), self.machine.total_tasks)
+        runtime.run_program(program, max_steps=max_steps)
+        return runtime
+
+    # -- the debugging session ---------------------------------------------------
+    def attach_and_analyze(self, state_of: Callable[[int], RankState],
+                           num_samples: int = 10,
+                           staging: str = "nfs",
+                           use_sbrs: bool = False,
+                           sampling_config: Optional[SamplingConfig] = None,
+                           mapping: str = "cyclic",
+                           dead_daemons: Optional[set] = None) -> STATResult:
+        """One full session against a (hung) application.
+
+        Parameters
+        ----------
+        state_of:
+            Rank-state provider — either ``runtime.state_of`` from a live
+            :class:`~repro.mpi.runtime.MPIRuntime` or a
+            :mod:`repro.statbench` generator.
+        staging:
+            Mount the binaries start on (``"nfs"``, ``"lustre"``,
+            ``"localdisk"``).
+        use_sbrs:
+            Relocate shared binaries to RAM disk first (Section VI-B) —
+            implies SIGSTOPping the application during sampling.
+        mapping:
+            Resource-manager rank placement; ``"cyclic"`` (non-rank-order)
+            exercises the remap step like the paper's Figure 6.
+        dead_daemons:
+            Daemon ids that died after launch; the merge proceeds without
+            their subtrees (degraded session), their tasks are absent from
+            the trees, and ``result.merge.missing_daemons`` records them.
+        """
+        timings: Dict[str, float] = {}
+
+        # Phase 1 — launch (daemons + CPs + connect [+ app on BG/L]).
+        launch = self.launcher.launch(self.machine, self.topology,
+                                      mapping=mapping)
+        timings["launch"] = launch.sim_time
+        assert launch.process_table is not None
+        task_map = launch.process_table.task_map
+
+        # Setup — gather the rank map once over the tree (Section V-B:
+        # "we first collect the map information once during the setup
+        # phase").  16 bytes per task: rank, daemon, slot, pid.
+        map_network = TBONetwork(self.topology, self.machine)
+        map_gather = map_network.reduce(
+            leaf_payload_fn=lambda d: task_map.tasks_of(d) * 16,
+            merge_fn=lambda sizes: sum(sizes),
+            payload_nbytes=lambda nbytes: nbytes,
+        )
+        timings["map_gather"] = map_gather.sim_time
+
+        # File-system world shared by SBRS and sampling.
+        engine = Engine()
+        mtab = MountTable({
+            "nfs": NFSServer(engine),
+            "lustre": LustreServer(engine),
+            "ramdisk": RamDisk(),
+            "localdisk": LocalDisk(),
+        })
+        files = stage_binaries(self.machine.binary, default_mount=staging)
+
+        relocation: Optional[RelocationReport] = None
+        if use_sbrs:
+            sbrs = SBRS(mtab)
+            relocation = sbrs.relocate(engine, files,
+                                       self.machine.num_daemons)
+            files = sbrs.effective_files(files)
+            timings["sbrs"] = relocation.total_overhead
+
+        # Phase 2 — sampling (timing model + real trees via the emulator).
+        config = sampling_config or SamplingConfig(
+            num_samples=num_samples,
+            application_stopped=use_sbrs,
+        )
+        sampling = time_sampling_phase(
+            self.machine, mtab, files, self.stack_model, config,
+            engine=engine, seed=self.seed)
+        timings["sample"] = sampling.max_seconds
+
+        emulator = STATBenchEmulator(
+            task_map, self.scheme, self.stack_model, state_of,
+            num_samples=config.num_samples,
+            threads_per_process=config.threads_per_process,
+            seed=self.seed)
+
+        # Phase 3 — TBO̅N merge of the locally merged 2D+3D trees.
+        dead = dead_daemons or set()
+
+        def leaf_payload(rank: int) -> DaemonTrees:
+            if rank in dead:
+                raise DaemonFailure(f"daemon {rank} unreachable")
+            return emulator.daemon_trees(rank)
+
+        network = TBONetwork(self.topology, self.machine)
+        merge = network.reduce(
+            leaf_payload_fn=leaf_payload,
+            merge_fn=emulator.merge_filter(),
+            payload_nbytes=DaemonTrees.serialized_bytes,
+            payload_nodes=DaemonTrees.node_count,
+            on_daemon_failure="skip" if dead else "raise",
+        )
+        timings["merge"] = merge.sim_time
+
+        # Phase 4 — finalize: remap to rank order (hierarchical only).
+        pair: DaemonTrees = merge.payload
+        tree_2d = self.scheme.finalize(pair.tree_2d, task_map)
+        tree_3d = self.scheme.finalize(pair.tree_3d, task_map)
+        timings["remap"] = self._remap_seconds(pair, task_map)
+
+        classes = triage_classes(tree_2d)
+        return STATResult(
+            tree_2d=tree_2d,
+            tree_3d=tree_3d,
+            classes=classes,
+            launch=launch,
+            sampling=sampling,
+            merge=merge,
+            relocation=relocation,
+            timings=timings,
+        )
+
+    def _remap_seconds(self, pair: DaemonTrees, task_map: TaskMap) -> float:
+        """Simulated cost of the front-end remap step (Section V-C)."""
+        if isinstance(self.scheme, DenseLabelScheme):
+            return 0.0  # dense labels are already rank-ordered
+        labels = pair.tree_2d.node_count() + pair.tree_3d.node_count()
+        return labels * (REMAP_SECONDS_PER_LABEL
+                         + REMAP_SECONDS_PER_LABEL_BIT * task_map.total_tasks)
+
+    def debug_hung_application(self, program: Callable,
+                               **kwargs) -> STATResult:
+        """Convenience: run the app, detect the hang, attach, analyze."""
+        runtime = self.run_application(program)
+        if not runtime.unfinished_ranks():
+            raise RuntimeError(
+                "application completed; nothing to debug "
+                "(inject a bug, or call attach_and_analyze directly)")
+        return self.attach_and_analyze(runtime.state_of, **kwargs)

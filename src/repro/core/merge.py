@@ -1,0 +1,206 @@
+"""The STAT filter kernel: merging call-graph prefix trees.
+
+As locally merged trees flow up the TBO̅N, every communication process runs
+this merge over its children's trees.  The *structure* merge is identical
+for both label representations — matching paths share nodes — but the
+*label* merge differs, and that difference is the whole of Section V:
+
+* :class:`DenseLabelScheme` (original): every label is a global-width bit
+  vector, so merging is a bitwise OR of equal-width vectors and every level
+  of the tree transmits job-width labels.
+* :class:`HierarchicalLabelScheme` (optimized): children's labels cover
+  disjoint subtrees, so merging is **concatenation** — zero-fill a label
+  over the merged layout and paste each contributing child's bytes at its
+  chunk offset.  Only the front end, via
+  :class:`~repro.core.taskset.RankRemapper`, ever builds a job-width vector.
+
+Both schemes expose the same interface so daemons, filters, and benchmarks
+are generic over the representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.frames import Frame
+from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.core.taskset import (
+    DaemonLayout,
+    DenseBitVector,
+    HierarchicalTaskSet,
+    RankRemapper,
+    TaskMap,
+)
+
+__all__ = [
+    "LabelScheme",
+    "DenseLabelScheme",
+    "HierarchicalLabelScheme",
+    "tree_layout",
+    "merge_trees",
+]
+
+
+def tree_layout(tree: PrefixTree) -> DaemonLayout:
+    """The (shared) layout of a hierarchical-labelled tree's edge labels.
+
+    By construction every label in a daemon's or CP's tree shares one
+    layout; we read it off the first edge.
+    """
+    for _, label in tree.edges():
+        if not isinstance(label, HierarchicalTaskSet):
+            raise TypeError("tree does not carry hierarchical labels")
+        return label.layout
+    raise ValueError("cannot determine layout of an empty tree")
+
+
+def _ordered_frame_union(nodes: Sequence[PrefixTreeNode]) -> List[Frame]:
+    """Union of children frames, preserving first-seen order."""
+    seen: Dict[Frame, None] = {}
+    for node in nodes:
+        for frame in node.children:
+            if frame not in seen:
+                seen[frame] = None
+    return list(seen)
+
+
+class LabelScheme:
+    """Strategy interface shared by the two edge-label representations."""
+
+    #: short identifier used in benchmark output rows
+    name = "abstract"
+
+    def daemon_label(self, daemon_id: int, local_width: int,
+                     slots: Sequence[int], task_map: TaskMap) -> Any:
+        """Label for a leaf (daemon-level) edge covering ``slots``."""
+        raise NotImplementedError
+
+    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
+        """Merge locally rooted trees into one (the TBO̅N filter body)."""
+        raise NotImplementedError
+
+    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
+        """Front-end post-processing to a rank-ordered, dense-labelled tree."""
+        raise NotImplementedError
+
+    def make_empty_tree(self) -> PrefixTree:
+        """A tree wired with this scheme's union/copy operations."""
+        return PrefixTree()
+
+
+class DenseLabelScheme(LabelScheme):
+    """Original STAT representation: global-width bit vectors everywhere.
+
+    ``total_tasks`` must be globally agreed before any daemon builds a
+    label — the paper's observation that the design "reserves space to
+    represent a global view".
+    """
+
+    name = "original"
+
+    def __init__(self, total_tasks: int) -> None:
+        if total_tasks <= 0:
+            raise ValueError(f"total_tasks must be positive, got {total_tasks}")
+        self.total_tasks = int(total_tasks)
+
+    def daemon_label(self, daemon_id: int, local_width: int,
+                     slots: Sequence[int], task_map: TaskMap) -> DenseBitVector:
+        """Global-width vector with the daemon's task ranks set."""
+        ranks = task_map.ranks_of(daemon_id)[np.asarray(list(slots), dtype=np.int64)] \
+            if len(slots) else np.zeros(0, dtype=np.int64)
+        return DenseBitVector.from_ranks(ranks, self.total_tasks)
+
+    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
+        """Recursive structure merge; label merge is bitwise OR."""
+        out = self.make_empty_tree()
+
+        def rec(dst: PrefixTreeNode, srcs: List[PrefixTreeNode]) -> None:
+            for frame in _ordered_frame_union(srcs):
+                contributors = [n.children[frame] for n in srcs
+                                if frame in n.children]
+                label = contributors[0].tasks.copy()
+                for other in contributors[1:]:
+                    label.union_inplace(other.tasks)
+                node = PrefixTreeNode(frame, label)
+                dst.children[frame] = node
+                rec(node, contributors)
+
+        rec(out.root, [t.root for t in trees])
+        return out
+
+    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
+        """Dense labels are already global and rank-ordered: identity."""
+        return root_tree
+
+
+class HierarchicalLabelScheme(LabelScheme):
+    """Optimized representation: labels span only the local subtree.
+
+    The merge pastes children's chunk bytes side by side (concatenation);
+    no job-width vector exists anywhere below the front end.
+    """
+
+    name = "optimized"
+
+    def daemon_label(self, daemon_id: int, local_width: int,
+                     slots: Sequence[int], task_map: TaskMap) -> HierarchicalTaskSet:
+        """Subtree-local leaf label over the daemon's own slots."""
+        return HierarchicalTaskSet.for_daemon(daemon_id, local_width, slots)
+
+    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
+        """Concatenation merge across disjoint child subtrees."""
+        if not trees:
+            raise ValueError("merge of zero trees")
+        layouts = [tree_layout(t) for t in trees]
+        merged_layout = DaemonLayout.concat(layouts)
+        offsets = np.concatenate(
+            ([0], np.cumsum([lay.nbytes for lay in layouts])))[:-1]
+
+        out = self.make_empty_tree()
+
+        def rec(dst: PrefixTreeNode,
+                srcs: List[Tuple[int, PrefixTreeNode]]) -> None:
+            for frame in _ordered_frame_union([n for _, n in srcs]):
+                contributors = [(i, n.children[frame]) for i, n in srcs
+                                if frame in n.children]
+                data = np.zeros(merged_layout.nbytes, dtype=np.uint8)
+                for i, node in contributors:
+                    off = int(offsets[i])
+                    data[off:off + layouts[i].nbytes] = node.tasks.data
+                child = PrefixTreeNode(
+                    frame, HierarchicalTaskSet(merged_layout, data))
+                dst.children[frame] = child
+                rec(child, contributors)
+
+        rec(out.root, list(enumerate(t.root for t in trees)))
+        return out
+
+    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
+        """The front-end **remap** (Section V-C; 0.66 s at 208K tasks).
+
+        Rearranges every concatenation-ordered label into MPI rank order,
+        returning a dense-labelled tree suitable for rendering and
+        equivalence-class extraction.
+        """
+        layout = tree_layout(root_tree)
+        remapper = RankRemapper(layout, task_map)
+        out = PrefixTree()
+
+        def rec(dst: PrefixTreeNode, src: PrefixTreeNode) -> None:
+            for frame, child in src.children.items():
+                node = PrefixTreeNode(frame, remapper.remap(child.tasks))
+                dst.children[frame] = node
+                rec(node, child)
+
+        rec(out.root, root_tree.root)
+        return out
+
+
+def merge_trees(scheme: LabelScheme,
+                trees: Sequence[PrefixTree]) -> PrefixTree:
+    """Convenience wrapper: ``scheme.merge(trees)`` with a 1-tree fast path."""
+    if len(trees) == 1:
+        return trees[0]
+    return scheme.merge(trees)

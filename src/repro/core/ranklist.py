@@ -1,0 +1,103 @@
+"""Compressed rank-list rendering for edge labels.
+
+STAT's call-prefix-tree output labels every edge with ``count:[ranks]``
+where the rank list collapses runs into ranges, e.g. Figure 1's
+``1022:[0,3-1023]`` or, when truncated for display, ``275:[8,11-12,17,...]``.
+
+This module provides the formatter, its inverse (used by property tests to
+verify losslessness of the untruncated form), and the composite edge-label
+helper.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "compress_ranks",
+    "format_rank_list",
+    "format_edge_label",
+    "parse_rank_list",
+]
+
+
+def compress_ranks(ranks: Iterable[int]) -> List[Tuple[int, int]]:
+    """Collapse a set of ranks into sorted, inclusive ``(start, end)`` runs.
+
+    >>> compress_ranks([0, 3, 4, 5, 1023])
+    [(0, 0), (3, 5), (1023, 1023)]
+    """
+    arr = np.asarray(sorted(set(int(r) for r in ranks)), dtype=np.int64)
+    if arr.size == 0:
+        return []
+    breaks = np.nonzero(np.diff(arr) > 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [arr.size - 1]))
+    return [(int(arr[s]), int(arr[e])) for s, e in zip(starts, ends)]
+
+
+def format_rank_list(ranks: Iterable[int], max_runs: int | None = None) -> str:
+    """Render ranks as ``[0,3-1023]``; truncate to ``max_runs`` runs with ``...``.
+
+    A single-element run renders as the bare rank; longer runs as
+    ``start-end``.  With ``max_runs`` set and exceeded, the list ends in
+    ``...`` exactly as in the paper's Figure 1 labels.
+
+    >>> format_rank_list([0] + list(range(3, 1024)))
+    '[0,3-1023]'
+    >>> format_rank_list([8, 11, 12, 17, 40], max_runs=3)
+    '[8,11-12,17,...]'
+    """
+    runs = compress_ranks(ranks)
+    truncated = False
+    if max_runs is not None and len(runs) > max_runs:
+        runs = runs[:max_runs]
+        truncated = True
+    parts = [f"{a}" if a == b else f"{a}-{b}" for a, b in runs]
+    if truncated:
+        parts.append("...")
+    return "[" + ",".join(parts) + "]"
+
+
+def format_edge_label(ranks: Sequence[int], max_runs: int | None = 4) -> str:
+    """Full STAT edge label ``count:[ranks]`` (count is never truncated).
+
+    >>> format_edge_label([1])
+    '1:[1]'
+    """
+    ranks = sorted(set(int(r) for r in ranks))
+    return f"{len(ranks)}:{format_rank_list(ranks, max_runs=max_runs)}"
+
+
+_RUN_RE = re.compile(r"^(\d+)(?:-(\d+))?$")
+
+
+def parse_rank_list(text: str) -> List[int]:
+    """Inverse of :func:`format_rank_list` for untruncated lists.
+
+    Raises ``ValueError`` on malformed input or on a truncated (``...``)
+    list, which is inherently lossy.
+    """
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise ValueError(f"rank list must be bracketed: {text!r}")
+    body = text[1:-1]
+    if not body:
+        return []
+    ranks: List[int] = []
+    for token in body.split(","):
+        token = token.strip()
+        if token == "...":
+            raise ValueError("cannot parse a truncated rank list")
+        m = _RUN_RE.match(token)
+        if not m:
+            raise ValueError(f"malformed run {token!r} in {text!r}")
+        start = int(m.group(1))
+        end = int(m.group(2)) if m.group(2) is not None else start
+        if end < start:
+            raise ValueError(f"descending run {token!r}")
+        ranks.extend(range(start, end + 1))
+    return ranks

@@ -1,0 +1,92 @@
+"""Session persistence: save and reload a STAT analysis.
+
+Real debugging sessions outlive the tool run — the paper's workflow hands
+the equivalence classes to a *separate* heavyweight debugger, so the
+merged trees must survive on disk.  A saved session directory contains:
+
+* ``tree_2d.stpt`` / ``tree_3d.stpt`` — the finalized trees in the binary
+  codec of :mod:`repro.core.codec`;
+* ``session.json`` — machine description, phase timings, class summary;
+* ``tree_3d.dot`` — ready-to-render Graphviz output.
+
+``load_session`` restores the trees and re-derives the classes, so the
+triage queries (:mod:`repro.core.queries`) work on archived sessions
+exactly as on live ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.codec import pack_tree, unpack_tree
+from repro.core.equivalence import EquivalenceClass, triage_classes
+from repro.core.frontend import STATResult
+from repro.core.prefix_tree import PrefixTree
+from repro.core.visualize import to_dot
+
+__all__ = ["save_session", "load_session", "SessionArchive"]
+
+_FORMAT_VERSION = 1
+
+
+class SessionArchive:
+    """A reloaded session: trees, timings, and re-derived classes."""
+
+    def __init__(self, tree_2d: PrefixTree, tree_3d: PrefixTree,
+                 meta: Dict) -> None:
+        self.tree_2d = tree_2d
+        self.tree_3d = tree_3d
+        self.meta = meta
+        self.classes: List[EquivalenceClass] = triage_classes(tree_2d)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Phase timings recorded at save time."""
+        return dict(self.meta.get("timings", {}))
+
+    def __repr__(self) -> str:
+        return (f"<SessionArchive machine={self.meta.get('machine')!r} "
+                f"classes={len(self.classes)}>")
+
+
+def save_session(result: STATResult, directory: Union[str, Path],
+                 machine_name: str = "") -> Path:
+    """Persist a finished session; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    (directory / "tree_2d.stpt").write_bytes(pack_tree(result.tree_2d))
+    (directory / "tree_3d.stpt").write_bytes(pack_tree(result.tree_3d))
+    (directory / "tree_3d.dot").write_text(
+        to_dot(result.tree_3d, graph_name="stat_3d_tree"))
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "machine": machine_name,
+        "timings": result.timings,
+        "classes": [
+            {"label": cls.label(), "size": cls.size,
+             "representative": cls.representative}
+            for cls in result.classes
+        ],
+        "missing_daemons": list(result.merge.missing_daemons),
+    }
+    (directory / "session.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_session(directory: Union[str, Path]) -> SessionArchive:
+    """Reload a saved session directory."""
+    directory = Path(directory)
+    meta_path = directory / "session.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no session.json in {directory}")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported session format version {version}")
+    tree_2d = unpack_tree((directory / "tree_2d.stpt").read_bytes())
+    tree_3d = unpack_tree((directory / "tree_3d.stpt").read_bytes())
+    return SessionArchive(tree_2d, tree_3d, meta)

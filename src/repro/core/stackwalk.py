@@ -1,0 +1,83 @@
+"""StackWalker-style third-party stack acquisition.
+
+STAT daemons use "the StackWalker API, a lightweight API that lets each
+back-end daemon take stack traces of the co-located processes on a node"
+(Section VI-A).  Here the walker reads a rank's
+:class:`~repro.mpi.runtime.RankState` through a platform
+:class:`~repro.mpi.stacks.StackModel` — the unwinding mechanics are not
+the paper's subject, but the walker's two cost-relevant properties are
+modeled faithfully:
+
+* walking costs CPU per frame on the daemon's host, dilated when the
+  daemon shares cores with spin-waiting MPI ranks (Atlas) — and not
+  dilated when the application has been SIGSTOPped (SBRS);
+* before the first walk, the symbol tables of the target binary and its
+  shared libraries must be read — from whatever file system they live on
+  (the Section VI bottleneck, charged by :mod:`repro.core.sampling`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.frames import StackTrace
+from repro.machine.base import MachineModel
+from repro.mpi.runtime import RankState
+from repro.mpi.stacks import StackModel
+
+__all__ = ["StackWalker", "cpu_dilation"]
+
+
+def cpu_dilation(machine: MachineModel, application_stopped: bool) -> float:
+    """CPU-contention multiplier for daemon-side work.
+
+    On Atlas "the default behavior of an MPI task waiting for a message
+    arrival is to spin-wait on a CPU core. When a node is fully loaded,
+    this behavior causes CPU contention with the daemon."  On BG/L the
+    daemon owns its I/O node.  SIGSTOPping the application (as SBRS does)
+    removes the contention entirely.
+    """
+    if application_stopped or not machine.daemon_shares_host_with_app:
+        return 1.0
+    cores = machine.extras.get("cores_per_node", machine.tasks_per_daemon)
+    spin = machine.extras.get("spin_wait_fraction", 1.0)
+    # tasks_per_daemon spinning ranks plus the daemon compete for `cores`.
+    return 1.0 + spin * machine.tasks_per_daemon / cores
+
+
+class StackWalker:
+    """One daemon's walker over its co-located processes."""
+
+    def __init__(self, stack_model: StackModel,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.stack_model = stack_model
+        self.rng = rng
+        self.walks_performed = 0
+
+    def walk(self, state: RankState, thread_id: int = 0) -> StackTrace:
+        """Acquire one trace from one (process, thread)."""
+        self.walks_performed += 1
+        return self.stack_model.trace_for(state, self.rng,
+                                          thread_id=thread_id)
+
+    def walk_all(self, states: Iterable[RankState],
+                 threads_per_process: int = 1) -> List[StackTrace]:
+        """One sampling instant over every local process (and thread).
+
+        Per Section VII's plan, thread traces stay associated with their
+        *process*: the returned traces carry thread ids but the caller
+        labels them all with the owning process's task slot.
+        """
+        traces: List[StackTrace] = []
+        for state in states:
+            for tid in range(threads_per_process):
+                traces.append(self.walk(state, thread_id=tid))
+        return traces
+
+    @staticmethod
+    def walk_seconds(machine: MachineModel, trace_depth: float,
+                     dilation: float = 1.0) -> float:
+        """Simulated cost of one walk of ``trace_depth`` frames."""
+        return machine.stackwalk_seconds_per_frame * trace_depth * dilation

@@ -1,0 +1,89 @@
+"""Rendering of call graph prefix trees (Figure 1).
+
+Produces Graphviz DOT (what real STAT emits for its GUI) and a compact
+ASCII rendering for terminals.  Node boxes show the function name; edges
+carry ``count:[ranks]`` labels, truncated with ``...`` past ``max_runs``
+runs just like the paper's figure (``275:[8,11-12,17,...]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.core.ranklist import format_edge_label
+
+__all__ = ["to_dot", "to_ascii"]
+
+#: Default label-to-ranks resolver (dense labels).
+_DEFAULT_RESOLVE: Callable[[Any], np.ndarray] = lambda label: label.to_ranks()
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(tree: PrefixTree,
+           rank_resolver: Optional[Callable[[Any], np.ndarray]] = None,
+           max_runs: int = 4,
+           graph_name: str = "stat_prefix_tree") -> str:
+    """Render the tree as a Graphviz DOT digraph.
+
+    Every node gets a stable integer id (preorder); edges are labelled with
+    the compressed rank lists.  The output is valid input for ``dot -Tpng``
+    and matches the visual structure of the paper's Figure 1.
+    """
+    resolve = rank_resolver or _DEFAULT_RESOLVE
+    lines: List[str] = [
+        f'digraph "{_escape(graph_name)}" {{',
+        '  node [shape=box, fontname="Helvetica"];',
+        '  edge [fontname="Helvetica", fontsize=10];',
+        f'  n0 [label="{_escape(tree.root.frame.function)}"];',
+    ]
+    counter = [0]
+
+    def rec(node: PrefixTreeNode, node_id: int) -> None:
+        for frame, child in node.children.items():
+            counter[0] += 1
+            child_id = counter[0]
+            label = format_edge_label(resolve(child.tasks), max_runs=max_runs)
+            lines.append(f'  n{child_id} [label="{_escape(frame.function)}"];')
+            lines.append(
+                f'  n{node_id} -> n{child_id} [label="{_escape(label)}"];')
+            rec(child, child_id)
+
+    rec(tree.root, 0)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(tree: PrefixTree,
+             rank_resolver: Optional[Callable[[Any], np.ndarray]] = None,
+             max_runs: int = 4) -> str:
+    """Render the tree with box-drawing characters for terminals.
+
+    Example output for the ring-test hang::
+
+        /
+        └── _start  1024:[0-1023]
+            └── main  1024:[0-1023]
+                ├── PMPI_Barrier  1022:[0,3-1023]
+                ├── do_SendOrStall  1:[1]
+                └── PMPI_Waitall  1:[2]
+    """
+    resolve = rank_resolver or _DEFAULT_RESOLVE
+    lines: List[str] = [tree.root.frame.function]
+
+    def rec(node: PrefixTreeNode, prefix: str) -> None:
+        children = list(node.children.items())
+        for i, (frame, child) in enumerate(children):
+            last = i == len(children) - 1
+            connector = "└── " if last else "├── "
+            label = format_edge_label(resolve(child.tasks), max_runs=max_runs)
+            lines.append(f"{prefix}{connector}{frame.function}  {label}")
+            rec(child, prefix + ("    " if last else "│   "))
+
+    rec(tree.root, "")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper figure plus scalar claims.
+
+Every module exposes ``run(quick=False) -> ExperimentResult`` that
+regenerates the corresponding figure's series — same workload, same
+topology rules, same scaling axis — and returns printable rows.
+``quick=True`` shrinks the scale list for CI-speed smoke runs; the shapes
+(who wins, where failures land) are preserved.
+
+The benchmarks in ``benchmarks/`` wrap these runners with pytest-benchmark
+and assert the acceptance criteria from DESIGN.md; ``python -m repro
+figure <id>`` prints the rows interactively; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from repro.experiments.common import ExperimentResult, Row, format_table
+
+__all__ = ["ExperimentResult", "Row", "format_table"]
+
+#: Registry of figure/claim ids -> module paths, for the CLI.
+REGISTRY = {
+    "fig1": "repro.experiments.fig01_tree_example",
+    "fig2": "repro.experiments.fig02_startup_atlas",
+    "fig3": "repro.experiments.fig03_startup_bgl",
+    "fig4": "repro.experiments.fig04_merge_atlas",
+    "fig5": "repro.experiments.fig05_merge_bgl",
+    "fig6": "repro.experiments.fig06_bitvector",
+    "fig7": "repro.experiments.fig07_bitvector_merge",
+    "fig8": "repro.experiments.fig08_sampling_atlas",
+    "fig9": "repro.experiments.fig09_sampling_bgl",
+    "fig10": "repro.experiments.fig10_sbrs",
+    "claims": "repro.experiments.claims",
+    "ablation-fanout": "repro.experiments.ablation_fanout",
+    "ablation-threads": "repro.experiments.ablation_threads",
+    "ablation-taskset": "repro.experiments.ablation_taskset",
+    "ablation-failures": "repro.experiments.ablation_failures",
+}

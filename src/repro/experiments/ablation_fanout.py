@@ -1,0 +1,61 @@
+"""Ablation A1 — 2-deep CP-count sweep (the topology design choice).
+
+Section III fixes the BG/L 2-deep rule at ``min(sqrt(D), 28)`` CPs.  This
+ablation sweeps the CP count at a fixed job size to show the trade the
+rule balances: too few CPs → huge per-CP fan-in (ingress serialization,
+the 1-deep failure mode); too many → the front end's own fan-in grows and
+the 14 login nodes saturate (host-sharing dilation of filter time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.merge import HierarchicalLabelScheme
+from repro.experiments.common import ExperimentResult, Row, timed_merge
+from repro.machine.bgl import BGLMachine
+from repro.mpi.stacks import BGLStackModel
+from repro.statbench import ring_hang_states
+from repro.tbon.network import TBONOverflowError
+from repro.tbon.topology import Topology
+
+__all__ = ["run", "CP_COUNTS"]
+
+CP_COUNTS: Sequence[int] = (2, 4, 8, 16, 28, 41, 64, 128, 256)
+QUICK_CP_COUNTS: Sequence[int] = (4, 28, 128)
+
+
+def run(quick: bool = False,
+        cp_counts: Optional[Sequence[int]] = None,
+        daemons: int = 0,
+        seed: int = 208_000) -> ExperimentResult:
+    """Sweep the CP layer width at fixed daemon count."""
+    cp_counts = cp_counts or (QUICK_CP_COUNTS if quick else CP_COUNTS)
+    daemons = daemons or (256 if quick else 1664)
+    machine = BGLMachine.with_io_nodes(daemons, "co")
+    result = ExperimentResult(
+        figure="Ablation A1",
+        title=f"2-deep CP-count sweep at {machine.total_tasks} tasks "
+              "(optimized labels)",
+        xlabel="communication processes",
+        ylabel="2D+3D merge seconds",
+    )
+    stack_model = BGLStackModel()
+    for cps in cp_counts:
+        if cps > daemons:
+            continue
+        topo = Topology.two_deep(daemons, cps, label=f"2-deep/{cps}cp")
+        try:
+            merge = timed_merge(machine, topo, HierarchicalLabelScheme(),
+                                stack_model,
+                                ring_hang_states(machine.total_tasks),
+                                seed=seed)
+            result.rows.append(Row("2-deep sweep", cps, merge.sim_time))
+        except TBONOverflowError as err:
+            result.rows.append(Row("2-deep sweep", cps, None,
+                                   note=str(err)[:70]))
+    rule = min(max(1, round(daemons ** 0.5)), 28)
+    result.notes.append(
+        f"the paper's rule picks {rule} CPs at {daemons} daemons "
+        "(min(sqrt(D), 28))")
+    return result

@@ -1,0 +1,88 @@
+"""Ablation A3 — task-set representation micro-costs (real wall time).
+
+The per-operation costs behind Section V's macro behaviour, measured on
+this host: union and serialization of global-width vectors versus
+subtree-chunk concatenation and the front-end remap, across job widths
+from 1K to 1M tasks ("a million cores would require a 1 megabit bit
+vector per edge label").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.taskset import (
+    DaemonLayout,
+    DenseBitVector,
+    HierarchicalTaskSet,
+    RankRemapper,
+    TaskMap,
+)
+from repro.experiments.common import ExperimentResult, Row
+
+__all__ = ["run", "WIDTHS"]
+
+WIDTHS: Sequence[int] = (1_024, 16_384, 131_072, 212_992, 1_048_576)
+QUICK_WIDTHS: Sequence[int] = (1_024, 131_072)
+
+_REPEATS = 20
+
+
+def _wall(fn) -> float:
+    """Median-of-repeats wall time in microseconds."""
+    samples = []
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples) * 1e6)
+
+
+def run(quick: bool = False,
+        widths: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Measure the representation micro-costs on this host."""
+    widths = widths or (QUICK_WIDTHS if quick else WIDTHS)
+    result = ExperimentResult(
+        figure="Ablation A3",
+        title="task-set representation micro-costs (this host)",
+        xlabel="total tasks (vector width)",
+        ylabel="microseconds per operation",
+    )
+    tasks_per_daemon = 128
+    for width in widths:
+        daemons = width // tasks_per_daemon
+        rng = np.random.default_rng(width)
+        ranks = rng.choice(width, size=width // 3, replace=False)
+        a = DenseBitVector.from_ranks(ranks, width)
+        b = DenseBitVector.from_ranks(
+            rng.choice(width, size=width // 3, replace=False), width)
+        result.rows.append(Row(
+            "dense union", width, _wall(lambda: a.union(b)), unit="us"))
+        result.rows.append(Row(
+            "dense serialize (bytes)", width,
+            float(a.serialized_bytes()), unit="B"))
+
+        chunks = [HierarchicalTaskSet.for_daemon(
+            d, tasks_per_daemon, range(0, tasks_per_daemon, 3))
+            for d in range(min(daemons, 64))]
+        result.rows.append(Row(
+            "hierarchical concat (64 chunks)", width,
+            _wall(lambda: HierarchicalTaskSet.concat(chunks)), unit="us"))
+
+        task_map = TaskMap.cyclic(daemons, tasks_per_daemon)
+        layout = DaemonLayout.from_task_map(task_map)
+        full = HierarchicalTaskSet.full(layout)
+        remapper = RankRemapper(layout, task_map)
+        result.rows.append(Row(
+            "remap (full-width label)", width,
+            _wall(lambda: remapper.remap(full)), unit="us"))
+        result.rows.append(Row(
+            "hierarchical serialize (bytes)", width,
+            float(full.serialized_bytes() // 8), unit="B"))
+    result.notes.append(
+        "dense wire size is width bits at *every* tree level; "
+        "hierarchical is subtree bits + 64-bit chunk headers")
+    return result

@@ -1,0 +1,72 @@
+"""ASCII charts for experiment series (no plotting dependencies).
+
+Renders an :class:`~repro.experiments.common.ExperimentResult` as a
+log-x/log-y scatter chart in plain text, one glyph per series — enough to
+*see* linear-versus-logarithmic scaling in a terminal, which is the whole
+point of the paper's figures.  Failed points render in the legend as the
+scale where the series ends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["render_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _log_positions(values: List[float], cells: int) -> Dict[float, int]:
+    """Map values onto [0, cells-1] on a log scale (ties collapse)."""
+    finite = sorted({v for v in values if v is not None and v > 0})
+    if not finite:
+        return {}
+    lo, hi = math.log10(finite[0]), math.log10(finite[-1])
+    span = (hi - lo) or 1.0
+    return {
+        v: min(cells - 1,
+               int(round((math.log10(v) - lo) / span * (cells - 1))))
+        for v in finite
+    }
+
+
+def render_chart(result: ExperimentResult, width: int = 64,
+                 height: int = 16) -> str:
+    """Render the result's series as a log-log ASCII chart."""
+    xs = [r.x for r in result.rows if r.y is not None and r.x > 0]
+    ys = [r.y for r in result.rows if r.y is not None and r.y > 0]
+    if not xs or not ys:
+        return "(no plottable points)"
+
+    xpos = _log_positions(xs, width)
+    ypos = _log_positions(ys, height)
+    grid = [[" "] * width for _ in range(height)]
+
+    legend: List[str] = []
+    for idx, series in enumerate(result.series_names()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        failures = []
+        for row in result.series(series):
+            if row.y is None:
+                failures.append(row.x)
+                continue
+            if row.x not in xpos or row.y not in ypos:
+                continue
+            r = height - 1 - ypos[row.y]
+            grid[r][xpos[row.x]] = glyph
+        note = (f"  (fails at x={failures[0]:g})" if failures else "")
+        legend.append(f"  {glyph} {series}{note}")
+
+    y_lo, y_hi = min(ys), max(ys)
+    x_lo, x_hi = min(xs), max(xs)
+    lines = [f"{result.figure}: {result.title}"]
+    lines.append(f"y: {result.ylabel}  [{y_lo:.3g} .. {y_hi:.3g}] (log)")
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {result.xlabel}  [{x_lo:g} .. {x_hi:g}] (log)")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Figure 2 — STAT startup time, LaunchMON versus MRNet (Atlas).
+
+Series: MRNet's serial rsh spawning over a flat 1-to-N topology (linear,
+failing outright at 512 daemons) versus LaunchMON bulk launch (512 daemons
+in ~5.6 s).  x is the daemon count (= Atlas compute nodes; 8 tasks each).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, Row
+from repro.launch.base import LaunchError
+from repro.launch.launchmon import LaunchMonLauncher
+from repro.launch.rsh import SerialRshLauncher
+from repro.machine.atlas import AtlasMachine
+from repro.tbon.topology import Topology
+
+__all__ = ["run", "SCALES"]
+
+#: Daemon counts on the paper's x axis.
+SCALES: Sequence[int] = (4, 8, 16, 32, 64, 128, 256, 512)
+QUICK_SCALES: Sequence[int] = (4, 16, 64, 512)
+
+
+def run(quick: bool = False,
+        scales: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Regenerate both startup series."""
+    scales = scales or (QUICK_SCALES if quick else SCALES)
+    result = ExperimentResult(
+        figure="Figure 2",
+        title="STAT startup time, LaunchMON versus MRNet (Atlas)",
+        xlabel="daemons (1 per compute node)",
+        ylabel="startup seconds",
+    )
+    rsh = SerialRshLauncher("rsh")
+    launchmon = LaunchMonLauncher()
+    for daemons in scales:
+        machine = AtlasMachine.with_nodes(daemons)
+        topo = Topology.flat(daemons)
+        try:
+            t = rsh.launch(machine, topo).sim_time
+            result.rows.append(Row("mrnet-rsh (1-deep)", daemons, t))
+        except LaunchError as err:
+            result.rows.append(Row("mrnet-rsh (1-deep)", daemons, None,
+                                   note=str(err)[:60]))
+        t = launchmon.launch(machine, topo).sim_time
+        result.rows.append(Row("launchmon (1-deep)", daemons, t))
+    result.notes.append(
+        "paper anchors: rsh linear (~60 s at 256), consistent failure at "
+        "512; LaunchMON 512 daemons in 5.6 s")
+    return result

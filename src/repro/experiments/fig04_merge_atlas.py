@@ -1,0 +1,53 @@
+"""Figure 4 — STAT merge time on Atlas with various topologies.
+
+The original (pre-optimization, global-width bit vector) representation on
+Atlas's modest scales: the flat 1-deep tree merges "under half a second at
+4,096 tasks" but trends linearly; balanced 2-deep and 3-deep trees scale
+clearly better.  x is MPI tasks (8 per daemon).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.merge import DenseLabelScheme
+from repro.experiments.common import ExperimentResult, Row, timed_merge
+from repro.machine.atlas import AtlasMachine
+from repro.mpi.stacks import LinuxStackModel
+from repro.statbench import ring_hang_states
+from repro.tbon.topology import Topology
+
+__all__ = ["run", "SCALES"]
+
+#: Daemon counts (tasks = 8x).
+SCALES: Sequence[int] = (8, 16, 32, 64, 128, 256, 512)
+QUICK_SCALES: Sequence[int] = (8, 64, 512)
+
+
+def run(quick: bool = False,
+        scales: Optional[Sequence[int]] = None,
+        seed: int = 208_000) -> ExperimentResult:
+    """Regenerate the three Atlas merge-time series."""
+    scales = scales or (QUICK_SCALES if quick else SCALES)
+    result = ExperimentResult(
+        figure="Figure 4",
+        title="STAT merge time on Atlas with various topologies "
+              "(original bit vectors)",
+        xlabel="MPI tasks",
+        ylabel="2D+3D merge seconds",
+    )
+    stack_model = LinuxStackModel()
+    for depth, series in ((1, "1-deep"), (2, "2-deep"), (3, "3-deep")):
+        for daemons in scales:
+            machine = AtlasMachine.with_nodes(daemons)
+            topo = Topology.balanced(daemons, depth)
+            scheme = DenseLabelScheme(machine.total_tasks)
+            merge = timed_merge(machine, topo, scheme, stack_model,
+                                ring_hang_states(machine.total_tasks),
+                                seed=seed)
+            result.rows.append(Row(series, machine.total_tasks,
+                                   merge.sim_time))
+    result.notes.append(
+        "paper anchors: 1-deep linear but <0.5 s at 4,096 tasks; 2/3-deep "
+        "significantly flatter")
+    return result

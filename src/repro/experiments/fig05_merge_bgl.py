@@ -1,0 +1,76 @@
+"""Figure 5 — STAT merge time on BG/L with various topologies.
+
+Still the original global-width bit vectors, now at BG/L scale: the flat
+1-deep tree **fails at 16,384 compute nodes (256 I/O nodes)**, and even
+the 2-deep and 3-deep trees scale *linearly* rather than logarithmically —
+the symptom whose diagnosis (fixed-size bit vectors over the TBO̅N) is
+Section V's lesson.  x is MPI tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.merge import DenseLabelScheme
+from repro.experiments.common import ExperimentResult, Row, timed_merge
+from repro.machine.bgl import BGLMachine
+from repro.mpi.stacks import BGLStackModel
+from repro.statbench import ring_hang_states
+from repro.tbon.network import TBONOverflowError
+from repro.tbon.topology import Topology
+
+__all__ = ["run", "SCALES"]
+
+#: I/O-node (daemon) counts; tasks = 64x (CO) or 128x (VN).
+SCALES: Sequence[int] = (16, 64, 128, 256, 512, 1024, 1664)
+QUICK_SCALES: Sequence[int] = (16, 128, 256)
+
+
+def _topology(kind: str, daemons: int) -> Topology:
+    if kind == "1-deep":
+        return Topology.flat(daemons)
+    if kind == "2-deep":
+        return Topology.bgl_two_deep(daemons)
+    return Topology.bgl_three_deep(daemons)
+
+
+def run(quick: bool = False,
+        scales: Optional[Sequence[int]] = None,
+        seed: int = 208_000) -> ExperimentResult:
+    """Regenerate the BG/L merge series with original bit vectors."""
+    scales = scales or (QUICK_SCALES if quick else SCALES)
+    result = ExperimentResult(
+        figure="Figure 5",
+        title="STAT merge time on BG/L with various topologies "
+              "(original bit vectors)",
+        xlabel="MPI tasks",
+        ylabel="2D+3D merge seconds",
+    )
+    stack_model = BGLStackModel()
+    combos = [
+        ("1-deep CO", "1-deep", "co"),
+        ("2-deep CO", "2-deep", "co"),
+        ("3-deep CO", "3-deep", "co"),
+        ("2-deep VN", "2-deep", "vn"),
+    ]
+    for series, topo_kind, mode in combos:
+        for daemons in scales:
+            if topo_kind == "1-deep" and daemons > 256:
+                continue  # paper stops the series at the failure point
+            machine = BGLMachine.with_io_nodes(daemons, mode)
+            topo = _topology(topo_kind, daemons)
+            scheme = DenseLabelScheme(machine.total_tasks)
+            try:
+                merge = timed_merge(machine, topo, scheme, stack_model,
+                                    ring_hang_states(machine.total_tasks),
+                                    seed=seed)
+                result.rows.append(Row(series, machine.total_tasks,
+                                       merge.sim_time))
+            except TBONOverflowError as err:
+                result.rows.append(Row(series, machine.total_tasks, None,
+                                       note=str(err)[:70]))
+    result.notes.append(
+        "paper anchors: 1-deep fails at 16,384 compute nodes (256 I/O "
+        "nodes); 2-deep and 3-deep similar to each other but linear in "
+        "task count")
+    return result

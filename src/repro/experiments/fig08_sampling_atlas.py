@@ -1,0 +1,55 @@
+"""Figure 8 — STAT sampling time on Atlas with a flat 1-to-N topology.
+
+Ten stack samples per daemon, executable and *all* shared libraries staged
+on the NFS home directory (pre-OS-update configuration).  The aggregate
+cost scales "slightly worse than linear" with daemon count because every
+daemon's symbol-table pass hits the same server.
+
+These are the paper's *original* measurements with the early prototype,
+which re-parsed symbol tables on **every** of the ten samples
+(``symtab_cached=False``) — combined with the pre-OS-update staging of all
+shared libraries on NFS, this is why Section VI-B later finds the Figure
+10 configuration (two shared files) "about four times better".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.sampling import SamplingConfig
+from repro.experiments.common import ExperimentResult, Row, timed_sampling
+from repro.machine.atlas import AtlasMachine
+from repro.mpi.stacks import LinuxStackModel
+
+__all__ = ["run", "SCALES"]
+
+#: Daemon counts (tasks = 8x), the paper's 8..4,096-task axis.
+SCALES: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+QUICK_SCALES: Sequence[int] = (1, 16, 128)
+
+
+def run(quick: bool = False,
+        scales: Optional[Sequence[int]] = None,
+        seed: int = 208_000) -> ExperimentResult:
+    """Regenerate the NFS sampling series."""
+    scales = scales or (QUICK_SCALES if quick else SCALES)
+    result = ExperimentResult(
+        figure="Figure 8",
+        title="STAT sampling time on Atlas (flat topology, binaries on NFS)",
+        xlabel="MPI tasks",
+        ylabel="sampling seconds (10 samples, max over daemons)",
+    )
+    stack_model = LinuxStackModel()
+    for daemons in scales:
+        machine = AtlasMachine.with_nodes(daemons, libraries_on_nfs=True)
+        report, _ = timed_sampling(
+            machine, stack_model, staging="nfs",
+            config=SamplingConfig(run_id=daemons, symtab_cached=False),
+            seed=seed)
+        result.rows.append(Row("NFS (all libraries)", machine.total_tasks,
+                               report.max_seconds))
+    result.notes.append(
+        "paper anchors: slightly worse than linear scaling; the symbol "
+        "tables of the executable and its shared libraries are the only "
+        "non-local resource")
+    return result

@@ -1,0 +1,42 @@
+"""File systems and access to static information — the Section VI substrate.
+
+The paper's third lesson: per-daemon operations that *look* node-local
+(parsing the target binary's symbol table before a stack walk) hit a shared
+file server, and "all participating daemons simultaneously access the
+binaries, thrashing the file server".  This package models:
+
+* :mod:`repro.fs.server` — the queueing file-server abstraction plus a
+  contention-free local disk;
+* :mod:`repro.fs.nfs` / :mod:`repro.fs.lustre` — the NFS home-directory
+  server and the LUSTRE parallel file system ("at this scale, LUSTRE
+  offers little improvement over NFS");
+* :mod:`repro.fs.ramdisk` — node-local RAM disk, SBRS's relocation target;
+* :mod:`repro.fs.mtab` — the mounted-file-system table SBRS consults to
+  decide whether a binary lives on globally shared storage;
+* :mod:`repro.fs.binary` — staged binary files (executable + shared
+  libraries) with symbol-table read sizes;
+* :mod:`repro.fs.sbrs` — the Scalable Binary Relocation Service itself.
+"""
+
+from repro.fs.binary import StagedFile, stage_binaries
+from repro.fs.cache import PageCache
+from repro.fs.lustre import LustreServer
+from repro.fs.mtab import MountTable
+from repro.fs.nfs import NFSServer
+from repro.fs.ramdisk import RamDisk
+from repro.fs.sbrs import SBRS, RelocationReport
+from repro.fs.server import FileServer, LocalDisk
+
+__all__ = [
+    "FileServer",
+    "LocalDisk",
+    "NFSServer",
+    "LustreServer",
+    "RamDisk",
+    "MountTable",
+    "StagedFile",
+    "stage_binaries",
+    "SBRS",
+    "RelocationReport",
+    "PageCache",
+]

@@ -1,0 +1,49 @@
+"""Staged binary files and their symbol-table footprints.
+
+Bridges a machine's :class:`~repro.machine.base.BinarySpec` to concrete
+per-file staging decisions: which mount each file lives on and how many
+bytes a StackWalker-style symbol-table parse must actually read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.machine.base import BinarySpec
+
+__all__ = ["StagedFile", "stage_binaries"]
+
+
+@dataclass(frozen=True)
+class StagedFile:
+    """One on-disk file a daemon must consult before walking stacks."""
+
+    name: str
+    nbytes: int
+    #: mount-table key ("nfs", "lustre", "ramdisk", "localdisk", ...)
+    mount: str
+    #: bytes a symbol-table parse reads (subset of nbytes)
+    symtab_bytes: int
+
+    def relocated_to(self, mount: str) -> "StagedFile":
+        """The same file after SBRS moves it to another mount."""
+        return StagedFile(self.name, self.nbytes, mount, self.symtab_bytes)
+
+
+def stage_binaries(spec: BinarySpec, default_mount: str = "nfs",
+                   overrides: Optional[Dict[str, str]] = None) -> List[StagedFile]:
+    """Place the executable and its libraries on mounts.
+
+    ``overrides`` maps file name to mount for exceptions — e.g. the OS
+    update noted in Section VI-B that "shifts several dependent shared
+    libraries to faster file systems" is expressed as overrides onto a
+    local mount.
+    """
+    overrides = overrides or {}
+    files: List[StagedFile] = []
+    for name, nbytes in spec.all_files():
+        mount = overrides.get(name, default_mount)
+        symtab = max(1, int(nbytes * spec.symbol_table_fraction))
+        files.append(StagedFile(name, nbytes, mount, symtab))
+    return files

@@ -1,0 +1,92 @@
+"""Per-node page cache for daemon file I/O.
+
+The Section VI measurements predate symbol-table caching in the tool: the
+prototype re-read the binaries on every sample.  Later tool versions keep
+parsed tables in memory — mechanically, a node-local page cache in front
+of the shared file system.  :class:`PageCache` implements exactly that
+(LRU over whole files, byte-capacity bounded) so the ``symtab_cached``
+sampling flag is a real code path rather than a cost multiplier, and so
+cache hit/miss statistics are inspectable in tests and reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """An LRU whole-file cache with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: int = 256 * 1024 * 1024,
+                 name: str = "pagecache") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.name = name
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used
+
+    def lookup(self, file_name: str) -> bool:
+        """True on a cache hit (refreshes LRU recency)."""
+        if file_name in self._entries:
+            self._entries.move_to_end(file_name)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, file_name: str, nbytes: int) -> None:
+        """Cache a file's pages, evicting least-recently-used as needed.
+
+        Files larger than the whole cache are not cached (they would evict
+        everything for no benefit — the standard scan-resistance choice).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        if nbytes > self.capacity_bytes:
+            return
+        if file_name in self._entries:
+            self._used -= self._entries.pop(file_name)
+        while self._used + nbytes > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted
+            self.evictions += 1
+        self._entries[file_name] = nbytes
+        self._used += nbytes
+
+    def invalidate(self, file_name: Optional[str] = None) -> None:
+        """Drop one file (or everything) — e.g. after a binary update."""
+        if file_name is None:
+            self._entries.clear()
+            self._used = 0
+            return
+        if file_name in self._entries:
+            self._used -= self._entries.pop(file_name)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "used_bytes": self._used,
+            "files": len(self._entries),
+        }
+
+    def __contains__(self, file_name: str) -> bool:
+        return file_name in self._entries
+
+    def __repr__(self) -> str:
+        return (f"<PageCache {self.name!r} {self._used}/{self.capacity_bytes}B"
+                f" hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,71 @@
+"""The mounted-file-system table (mtab).
+
+SBRS "refers to the mounted file system table (mtab) to determine if a
+binary resides on a globally-shared file system" (Section VI-B).  The
+table maps mount keys to live file-system models and answers exactly that
+question, plus open() interposition: a relocated file resolves to the RAM
+disk regardless of its original mount.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Union
+
+from repro.fs.server import FileServer, LocalDisk
+
+__all__ = ["MountTable"]
+
+FileSystem = Union[FileServer, LocalDisk]
+
+
+class MountTable:
+    """Mount key -> file system, with SBRS redirection overlay."""
+
+    def __init__(self, mounts: Dict[str, FileSystem]) -> None:
+        if not mounts:
+            raise ValueError("mount table cannot be empty")
+        self._mounts = dict(mounts)
+        self._redirects: Dict[str, str] = {}
+
+    def resolve(self, file_name: str, mount: str) -> FileSystem:
+        """File system serving ``file_name`` (honouring redirections)."""
+        effective = self._redirects.get(file_name, mount)
+        try:
+            return self._mounts[effective]
+        except KeyError:
+            raise KeyError(
+                f"mount {effective!r} not in mtab "
+                f"(known: {sorted(self._mounts)})") from None
+
+    def is_shared(self, mount: str) -> bool:
+        """True when ``mount`` is a globally shared file system."""
+        try:
+            return bool(self._mounts[mount].shared)
+        except KeyError:
+            raise KeyError(f"mount {mount!r} not in mtab") from None
+
+    def redirect(self, file_name: str, to_mount: str) -> None:
+        """Interpose open() for ``file_name`` onto ``to_mount``.
+
+        SBRS "automatically redirects each tool daemon's file I/O requests
+        on the original files to the relocated versions by interposing all
+        of its open calls".
+        """
+        if to_mount not in self._mounts:
+            raise KeyError(f"redirect target mount {to_mount!r} not in mtab")
+        self._redirects[file_name] = to_mount
+
+    def redirections(self) -> Dict[str, str]:
+        """Copy of the active redirect map."""
+        return dict(self._redirects)
+
+    def mounts(self) -> Set[str]:
+        """All known mount keys."""
+        return set(self._mounts)
+
+    def __contains__(self, mount: str) -> bool:
+        return mount in self._mounts
+
+    def __repr__(self) -> str:
+        return (f"<MountTable mounts={sorted(self._mounts)} "
+                f"redirects={len(self._redirects)}>")

@@ -1,0 +1,21 @@
+"""Node-local RAM disk — SBRS's relocation target.
+
+Once SBRS has broadcast the binaries, every daemon's open() is interposed
+onto its node's RAM disk: no server, no contention, memory-speed reads.
+This is what flattens Figure 10's relocated-binary line to a constant.
+"""
+
+from __future__ import annotations
+
+from repro.fs.server import LocalDisk
+
+__all__ = ["RamDisk"]
+
+
+class RamDisk(LocalDisk):
+    """tmpfs-like local storage (GB/s-class, microsecond opens)."""
+
+    kind = "ramdisk"
+
+    def __init__(self, name: str = "ramdisk") -> None:
+        super().__init__(bandwidth_Bps=2e9, open_overhead_s=2.0e-5, name=name)

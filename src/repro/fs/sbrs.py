@@ -1,0 +1,140 @@
+"""SBRS — the Scalable Binary Relocation Service (Section VI-B).
+
+The service "scalably relocate[s] a requested executable and its dependent
+shared libraries from a shared file system such as NFS to the RAM disk of
+participating nodes", then interposes open() so every subsequent daemon
+I/O lands locally.  Mechanism, as implemented here:
+
+1. consult the mtab: only files on globally shared mounts are relocated;
+2. the **master back-end daemon** fetches each such file from the shared
+   server (one reader instead of D);
+3. the file is broadcast over the tool's own communication fabric —
+   LaunchMON's back-end API riding the Infiniband switch on Atlas — in
+   ``ceil(log2(D))`` store-and-forward hops;
+4. every daemon writes the file to its node-local RAM disk, and the mtab
+   redirect makes the daemons' opens resolve there.
+
+To keep the broadcast from competing with the application, SBRS first
+sends SIGSTOP to the application processes and allows a settling grace
+period; the stopped ranks also stop spin-waiting, which is why SBRS-based
+sampling sheds Atlas's CPU-contention dilation.
+
+Calibration anchor: "taking 0.088 seconds to relocate two main binary
+files, the base executable (10KB) and the MPI library (4MB), to 128
+nodes" — reproduced by ``benchmarks/bench_claim_sbrs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.fs.binary import StagedFile
+from repro.fs.mtab import MountTable
+from repro.fs.ramdisk import RamDisk
+from repro.fs.server import FileServer
+from repro.sim.engine import Engine
+
+__all__ = ["SBRS", "RelocationReport"]
+
+
+@dataclass
+class RelocationReport:
+    """Outcome of one SBRS relocation pass."""
+
+    #: simulated seconds for fetch + broadcast + local writes (grace excluded)
+    sim_time: float = 0.0
+    #: SIGSTOP settling time the sampling phase must additionally absorb
+    sigstop_grace_s: float = 0.0
+    relocated: List[str] = field(default_factory=list)
+    skipped_local: List[str] = field(default_factory=list)
+    bytes_broadcast: int = 0
+    per_file_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_overhead(self) -> float:
+        """Grace period plus relocation time."""
+        return self.sim_time + self.sigstop_grace_s
+
+
+class SBRS:
+    """One relocation service instance bound to an mtab and a fabric.
+
+    Parameters
+    ----------
+    mtab:
+        Live mount table; redirects are installed here.
+    ramdisk_mount:
+        Mount key of the node-local RAM disk target.
+    fabric_bandwidth_Bps / fabric_latency_s:
+        The tool's back-end communication fabric (Atlas: the Infiniband
+        switch via LaunchMON's API).
+    sigstop_grace_s:
+        Settling time granted after SIGSTOPping the application.
+    """
+
+    def __init__(self, mtab: MountTable,
+                 ramdisk_mount: str = "ramdisk",
+                 fabric_bandwidth_Bps: float = 1.5e9,
+                 fabric_latency_s: float = 3.0e-4,
+                 sigstop_grace_s: float = 0.25) -> None:
+        if ramdisk_mount not in mtab:
+            raise KeyError(f"ramdisk mount {ramdisk_mount!r} not in mtab")
+        self.mtab = mtab
+        self.ramdisk_mount = ramdisk_mount
+        self.fabric_bandwidth_Bps = fabric_bandwidth_Bps
+        self.fabric_latency_s = fabric_latency_s
+        self.sigstop_grace_s = sigstop_grace_s
+
+    def broadcast_seconds(self, nbytes: int, num_daemons: int) -> float:
+        """Binomial-tree store-and-forward broadcast over the fabric."""
+        if num_daemons < 1:
+            raise ValueError("need at least one daemon")
+        hops = max(1, math.ceil(math.log2(num_daemons))) if num_daemons > 1 else 0
+        per_hop = self.fabric_latency_s + nbytes / self.fabric_bandwidth_Bps
+        return hops * per_hop
+
+    def relocate(self, engine: Engine, files: Sequence[StagedFile],
+                 num_daemons: int) -> RelocationReport:
+        """Relocate every shared-mount file; install open() redirects.
+
+        Runs the master fetches through the *real* shared-server queue on
+        ``engine`` (so a loaded server slows relocation too), then adds the
+        deterministic broadcast and RAM-disk write costs.
+        """
+        report = RelocationReport(sigstop_grace_s=self.sigstop_grace_s)
+        ram = self.mtab.resolve("", self.ramdisk_mount)
+        if not isinstance(ram, RamDisk):
+            raise TypeError(
+                f"mount {self.ramdisk_mount!r} is not a RamDisk")
+
+        t_start = engine.now
+        for f in files:
+            if not self.mtab.is_shared(f.mount):
+                report.skipped_local.append(f.name)
+                continue
+            server = self.mtab.resolve(f.name, f.mount)
+            if not isinstance(server, FileServer):
+                raise TypeError(f"shared mount {f.mount!r} has no server")
+            # Master daemon fetch: the one remaining shared-FS read.
+            done = server.request_read(f.nbytes)
+            engine.run()  # drain: the fetch completes (plus queued work)
+            fetch_s = engine.now - t_start - report.sim_time
+            bcast_s = self.broadcast_seconds(f.nbytes, num_daemons)
+            write_s = ram.read_seconds(f.nbytes)  # symmetric write cost
+            assert done.triggered
+            report.per_file_seconds[f.name] = fetch_s + bcast_s + write_s
+            report.sim_time += fetch_s + bcast_s + write_s
+            report.bytes_broadcast += f.nbytes
+            report.relocated.append(f.name)
+            self.mtab.redirect(f.name, self.ramdisk_mount)
+        return report
+
+    def effective_files(self, files: Sequence[StagedFile]) -> List[StagedFile]:
+        """The staging the daemons now observe (relocations applied)."""
+        out = []
+        for f in files:
+            target = self.mtab.redirections().get(f.name)
+            out.append(f.relocated_to(target) if target else f)
+        return out

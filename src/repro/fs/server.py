@@ -1,0 +1,114 @@
+"""File-server abstractions: shared queueing servers and local disks.
+
+A :class:`FileServer` fronts a :class:`~repro.sim.resources.QueueingServer`
+from the simulation engine: clients submit ``open+read`` requests whose
+base service time is ``open_overhead + nbytes / bandwidth``, and whose
+*effective* service time degrades with the instantaneous request load —
+the cache-thrash/seek-storm behaviour that turns D "independent" daemon
+symbol-table parses into worse-than-linear aggregate time (Figure 8).
+
+A :class:`LocalDisk` (including RAM disk) is contention-free per client
+and needs no engine: reads cost a deterministic
+``open_overhead + nbytes / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import QueueingServer, ServiceModel, threshold_thrash
+
+__all__ = ["FileServer", "LocalDisk"]
+
+
+class FileServer:
+    """A shared file server reached over the interconnect.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine carrying the clock.
+    bandwidth_Bps:
+        Per-request streaming bandwidth at zero load.
+    open_overhead_s:
+        Fixed cost per open+read round trip (RPC, metadata, attr checks).
+    capacity:
+        Concurrent requests served without queueing (nfsd thread pool).
+    thrash_threshold / thrash_slope / thrash_max_factor:
+        Load-degradation knobs: beyond ``thrash_threshold`` outstanding
+        requests, each extra one inflates service time by ``thrash_slope``
+        base-times (working set exceeds the server cache), saturating at
+        ``thrash_max_factor`` (the seek-bound worst case).
+    """
+
+    #: identifier used in mount tables and benchmark rows
+    kind = "shared"
+    shared = True
+
+    def __init__(self, engine: Engine,
+                 bandwidth_Bps: float = 60e6,
+                 open_overhead_s: float = 5.0e-3,
+                 capacity: int = 32,
+                 thrash_threshold: int = 8,
+                 thrash_slope: float = 0.005,
+                 thrash_max_factor: Optional[float] = 8.0,
+                 name: str = "fileserver",
+                 service_model: Optional[ServiceModel] = None) -> None:
+        self.engine = engine
+        self.bandwidth_Bps = float(bandwidth_Bps)
+        self.open_overhead_s = float(open_overhead_s)
+        self.name = name
+        self.server = QueueingServer(
+            engine,
+            capacity=capacity,
+            service_model=service_model or threshold_thrash(
+                thrash_threshold, thrash_slope, thrash_max_factor),
+            name=name,
+        )
+
+    def base_service_time(self, nbytes: int) -> float:
+        """Zero-load service time for one open+read of ``nbytes``."""
+        return self.open_overhead_s + nbytes / self.bandwidth_Bps
+
+    def request_read(self, nbytes: int, payload: object = None) -> Event:
+        """Submit an open+read; the event fires at completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        return self.server.submit(self.base_service_time(nbytes), payload)
+
+    @property
+    def load(self) -> int:
+        """Outstanding requests (in service + queued)."""
+        return self.server.load
+
+    @property
+    def requests_served(self) -> int:
+        """Completed requests so far."""
+        return self.server.requests_served
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} load={self.load}>"
+
+
+class LocalDisk:
+    """Node-local storage: contention-free, deterministic reads."""
+
+    kind = "local"
+    shared = False
+
+    def __init__(self, bandwidth_Bps: float = 400e6,
+                 open_overhead_s: float = 2.0e-4,
+                 name: str = "localdisk") -> None:
+        self.bandwidth_Bps = float(bandwidth_Bps)
+        self.open_overhead_s = float(open_overhead_s)
+        self.name = name
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Deterministic open+read time."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        return self.open_overhead_s + nbytes / self.bandwidth_Bps
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,38 @@
+"""Tool and job startup — the Section IV substrate.
+
+Interactive tools must co-locate daemons with the running job before any
+debugging can happen; the paper shows this "one-time" cost dominating and
+even failing at scale.  Three launchers reproduce the mechanisms studied:
+
+* :class:`~repro.launch.rsh.SerialRshLauncher` — MRNet's original ad hoc
+  spawning over rsh/ssh: strictly serial per process, with rsh hard-failing
+  at 512 daemons on Atlas (Figure 2's truncated line).
+* :class:`~repro.launch.launchmon.LaunchMonLauncher` — bulk launch through
+  the native resource manager: 512 daemons in ~5.6 s.
+* :class:`~repro.launch.ciod.BglSystemLauncher` — BG/L's control system,
+  including the process-table generation that used ``strcat`` (quadratic)
+  and undersized buffers before IBM's patches; the pre-patch configuration
+  *hangs* at 208K processes, exactly as the paper reports (Figure 3).
+
+Every launcher returns a :class:`~repro.launch.base.LaunchResult` holding
+the simulated startup time, a per-phase breakdown, and the **process
+table / task map** the front end later needs for rank remapping.
+"""
+
+from repro.launch.base import Launcher, LaunchError, LaunchHang, LaunchResult
+from repro.launch.ciod import BglSystemLauncher
+from repro.launch.launchmon import LaunchMonLauncher
+from repro.launch.process_table import ProcessTable, build_process_table
+from repro.launch.rsh import SerialRshLauncher
+
+__all__ = [
+    "Launcher",
+    "LaunchResult",
+    "LaunchError",
+    "LaunchHang",
+    "SerialRshLauncher",
+    "LaunchMonLauncher",
+    "BglSystemLauncher",
+    "ProcessTable",
+    "build_process_table",
+]

@@ -1,0 +1,19 @@
+"""Platform models for the paper's two evaluation machines.
+
+* :class:`~repro.machine.atlas.AtlasMachine` — the 1,152-node, 8-core
+  Infiniband Linux cluster (terascale testbed).
+* :class:`~repro.machine.bgl.BGLMachine` — the LLNL BlueGene/L with 104
+  racks, 106,496 compute nodes, 1,664 I/O nodes, and 14 login nodes
+  (the 208K-core system of the title).
+
+A machine model carries exactly the parameters the tool substrates consume:
+daemon placement (tasks per daemon, dedicated vs shared host), communication
+process placement (dedicated allocation vs shared login nodes), link
+characteristics for tool traffic, and binary/file-system staging defaults.
+"""
+
+from repro.machine.atlas import AtlasMachine
+from repro.machine.base import HostPool, MachineModel
+from repro.machine.bgl import BGLMachine
+
+__all__ = ["MachineModel", "HostPool", "AtlasMachine", "BGLMachine"]

@@ -1,0 +1,125 @@
+"""Common machine-model abstractions.
+
+A :class:`MachineModel` is a bag of calibrated constants — not a simulator
+itself.  The TBO̅N, launcher, sampling, and file-system components read the
+constants they need; keeping them in one place per platform makes the
+calibration story auditable (every number is traceable to a statement in
+the paper or to a public spec of the machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["HostPool", "MachineModel", "BinarySpec"]
+
+
+@dataclass(frozen=True)
+class HostPool:
+    """Where communication processes may be placed.
+
+    ``num_hosts`` of ``cores_per_host`` each.  ``num_hosts=0`` means CPs get
+    a dedicated core each (Atlas launches them onto a separate compute-node
+    allocation, "one per compute core"), modeled as contention-free.
+    """
+
+    num_hosts: int
+    cores_per_host: int = 1
+
+    @property
+    def dedicated(self) -> bool:
+        """True when every CP can have its own core."""
+        return self.num_hosts == 0
+
+    def host_of(self, cp_index: int) -> int:
+        """Round-robin CP→host placement (BG/L: across 14 login nodes)."""
+        if self.dedicated:
+            return cp_index  # unique pseudo-host per CP
+        return cp_index % self.num_hosts
+
+    def slowdown(self, cps_on_host: int) -> float:
+        """CPU dilation when ``cps_on_host`` CPs share one host's cores."""
+        if self.dedicated:
+            return 1.0
+        return max(1.0, cps_on_host / self.cores_per_host)
+
+
+@dataclass(frozen=True)
+class BinarySpec:
+    """The target application's on-disk footprint, as the daemons see it.
+
+    ``shared_libraries`` maps library name to size in bytes; empty for
+    statically linked binaries (BG/L compute binaries), populated for
+    dynamically linked Linux binaries (Atlas: the base executable plus the
+    MPI library and friends).  ``symbol_table_fraction`` is the share of
+    each file the StackWalker must actually read to parse symbols.
+    """
+
+    executable_name: str = "app"
+    executable_bytes: int = 10 * 1024           # paper §VI-B: 10 KB test app
+    shared_libraries: Dict[str, int] = field(default_factory=dict)
+    symbol_table_fraction: float = 0.25
+
+    def all_files(self) -> List[Tuple[str, int]]:
+        """``(name, bytes)`` for the executable and each library."""
+        return [(self.executable_name, self.executable_bytes)] + \
+            sorted(self.shared_libraries.items())
+
+    def total_bytes(self) -> int:
+        """Total footprint that SBRS would relocate."""
+        return self.executable_bytes + sum(self.shared_libraries.values())
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Calibrated platform constants consumed by the tool substrates.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform id used in benchmark rows.
+    num_daemons:
+        Tool daemons launched (Atlas: one per compute node; BG/L: one per
+        I/O node).
+    tasks_per_daemon:
+        Application tasks each daemon gathers traces from (Atlas: 8;
+        BG/L: 64 in co-processor mode, 128 in virtual-node mode).
+    cp_hosts:
+        Placement pool for MRNet communication processes.
+    link_latency_s / link_bandwidth_Bps:
+        Per-hop tool-channel characteristics (socket setup + kernel path,
+        not raw wire speed).
+    daemon_shares_host_with_app:
+        True on Atlas, where the daemon competes for cores with
+        spin-waiting MPI ranks; False on BG/L's dedicated I/O nodes.
+    stackwalk_seconds_per_frame:
+        Cost of unwinding one frame once symbols are available.
+    binary:
+        The application's on-disk footprint for file-system interactions.
+    """
+
+    name: str
+    num_daemons: int
+    tasks_per_daemon: int
+    cp_hosts: HostPool
+    link_latency_s: float
+    link_bandwidth_Bps: float
+    daemon_shares_host_with_app: bool
+    stackwalk_seconds_per_frame: float
+    binary: BinarySpec
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_tasks(self) -> int:
+        """Application size this configuration debugs."""
+        return self.num_daemons * self.tasks_per_daemon
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One point-to-point tool message of ``nbytes`` over one hop."""
+        return self.link_latency_s + nbytes / self.link_bandwidth_Bps
+
+    def describe(self) -> str:
+        """One-line summary used in benchmark headers."""
+        return (f"{self.name}: {self.num_daemons} daemons x "
+                f"{self.tasks_per_daemon} tasks = {self.total_tasks} tasks")

@@ -1,0 +1,121 @@
+"""BlueGene/L at LLNL — the 208K-core system (paper Section III).
+
+Geometry, straight from the paper: 106,496 compute nodes (dual 700 MHz
+PowerPC 440), one I/O node per 64 compute nodes → 1,664 I/O nodes for the
+full machine.  Tool daemons *must* run on the I/O nodes; in **co-processor
+(CO) mode** each compute node runs one MPI task (64 tasks per daemon, 104K
+tasks machine-wide), in **virtual-node (VN) mode** each core runs a task
+(128 per daemon, 212,992 tasks — the title's 208K).  MRNet communication
+processes may only run on the 14 login nodes (two 1.6 GHz Power5 each),
+which is why the paper could not test fully balanced topologies.
+
+Calibration notes:
+
+* ``link_latency_s = 1.2e-3`` — tool messages traverse CIOD plus the
+  shared-Ethernet path from I/O nodes to login nodes.
+* ``link_bandwidth_Bps = 80 MB/s`` — GbE from I/O node, minus CIOD copies.
+* compute binaries are statically linked (one file to relocate / parse —
+  the reason Section VI's problem is "generally less severe on BG/L").
+* daemons own their I/O node (no CPU contention with ranks), but serve 64
+  or 128 processes each, which is why BG/L sampling is slower than Atlas
+  at small scales (Section VI-A, observation three).
+"""
+
+from __future__ import annotations
+
+from repro.machine.base import BinarySpec, HostPool, MachineModel
+
+__all__ = [
+    "BGLMachine",
+    "BGL_MAX_IO_NODES",
+    "BGL_COMPUTE_NODES_PER_IO_NODE",
+    "BGL_LOGIN_NODES",
+    "bgl_binary_spec",
+]
+
+#: Full-machine I/O-node (daemon) count: 106,496 / 64.
+BGL_MAX_IO_NODES = 1664
+
+#: LLNL configuration: one I/O node per 64 compute nodes.
+BGL_COMPUTE_NODES_PER_IO_NODE = 64
+
+#: Login nodes available for MRNet communication processes.
+BGL_LOGIN_NODES = 14
+
+#: Cores per login node (two 1.6 GHz Power5).
+BGL_LOGIN_CORES = 2
+
+#: Tasks per compute node by mode.
+TASKS_PER_NODE = {"co": 1, "vn": 2}
+
+
+def bgl_binary_spec() -> BinarySpec:
+    """The statically linked BG/L compute binary (single file, ~2 MB)."""
+    return BinarySpec(
+        executable_name="ring_test_bgl",
+        executable_bytes=2 * 1024 * 1024,
+        shared_libraries={},
+        symbol_table_fraction=0.25,
+    )
+
+
+class BGLMachine(MachineModel):
+    """Factory-friendly BG/L configuration."""
+
+    @classmethod
+    def with_io_nodes(cls, io_nodes: int, mode: str = "co") -> "BGLMachine":
+        """A BG/L partition served by ``io_nodes`` daemons.
+
+        ``mode`` is ``"co"`` (co-processor: 64 tasks/daemon) or ``"vn"``
+        (virtual node: 128 tasks/daemon).  The full machine is
+        ``with_io_nodes(1664, "vn")`` → 212,992 tasks.
+        """
+        mode = mode.lower()
+        if mode not in TASKS_PER_NODE:
+            raise ValueError(f"mode must be 'co' or 'vn', got {mode!r}")
+        if not 1 <= io_nodes <= BGL_MAX_IO_NODES:
+            raise ValueError(
+                f"BG/L has {BGL_MAX_IO_NODES} I/O nodes; requested {io_nodes}")
+        tasks_per_daemon = BGL_COMPUTE_NODES_PER_IO_NODE * TASKS_PER_NODE[mode]
+        return cls(
+            name=f"bgl-{io_nodes}io-{mode}",
+            num_daemons=io_nodes,
+            tasks_per_daemon=tasks_per_daemon,
+            cp_hosts=HostPool(num_hosts=BGL_LOGIN_NODES,
+                              cores_per_host=BGL_LOGIN_CORES),
+            link_latency_s=1.2e-3,
+            link_bandwidth_Bps=80e6,
+            daemon_shares_host_with_app=False,
+            stackwalk_seconds_per_frame=2.5e-3,  # 700 MHz I/O-node cores
+            binary=bgl_binary_spec(),
+            extras={
+                "compute_nodes": float(io_nodes * BGL_COMPUTE_NODES_PER_IO_NODE),
+                "mode_vn": 1.0 if mode == "vn" else 0.0,
+                # Tool-channel fan-in limit per tree node: the front end's
+                # CIOD-multiplexed connections to I/O nodes exhaust socket
+                # buffers near 200 children, which is why the flat topology
+                # "fails to merge the graphs at 16,384 compute nodes (256
+                # I/O nodes)" in Section V-A.
+                "max_tool_children": 192.0,
+            },
+        )
+
+    @classmethod
+    def with_compute_nodes(cls, compute_nodes: int, mode: str = "co") -> "BGLMachine":
+        """Size by compute-node count (the x-axis of Figures 3 and 5)."""
+        io_nodes, rem = divmod(compute_nodes, BGL_COMPUTE_NODES_PER_IO_NODE)
+        if rem:
+            raise ValueError(
+                f"BG/L compute-node counts are multiples of "
+                f"{BGL_COMPUTE_NODES_PER_IO_NODE}")
+        return cls.with_io_nodes(io_nodes, mode)
+
+    @classmethod
+    def full_machine(cls, mode: str = "vn") -> "BGLMachine":
+        """All 104 racks: 104K tasks in CO mode, 212,992 ("208K") in VN."""
+        return cls.with_io_nodes(BGL_MAX_IO_NODES, mode)
+
+    @property
+    def mode(self) -> str:
+        """'co' or 'vn'."""
+        return "vn" if self.extras.get("mode_vn") else "co"

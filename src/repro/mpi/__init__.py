@@ -1,0 +1,39 @@
+"""Simulated MPI runtime — the substrate under the paper's target app.
+
+The paper debugs "a simple MPI ring topology test with an injected bug"
+(Section III).  For the hang to *emerge* rather than be scripted, the
+substrate implements genuine nonblocking message matching on the discrete
+event engine:
+
+* :mod:`repro.mpi.runtime` — ranks as generator processes; ``Isend`` /
+  ``Irecv`` with an unexpected-message queue, ``Waitall``, and a
+  ``Barrier`` that completes only when every rank arrives.  Rank state is
+  exposed to the stack sampler, exactly like a ptrace-stopped process
+  exposes its frames.
+* :mod:`repro.mpi.stacks` — platform stack models mapping a rank's state
+  to realistic call paths (BG/L's ``BGLML_Messager_advance`` progress
+  recursion vs a Linux/MPICH-style progress engine), with the depth
+  variation over time that gives Figure 1's 3D tree its texture.
+"""
+
+from repro.mpi.runtime import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MPIRuntime,
+    RankContext,
+    RankState,
+    Request,
+)
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel, StackModel
+
+__all__ = [
+    "MPIRuntime",
+    "RankContext",
+    "RankState",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "StackModel",
+    "BGLStackModel",
+    "LinuxStackModel",
+]

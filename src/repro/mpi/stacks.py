@@ -1,0 +1,217 @@
+"""Platform stack models: rank state -> realistic call paths.
+
+A stack model plays the role of the symbol tables + unwinder: given a
+rank's :class:`~repro.mpi.runtime.RankState`, it produces the
+:class:`~repro.core.frames.StackTrace` a StackWalker would report on that
+platform.  Two models reproduce the paper's environments:
+
+* :class:`BGLStackModel` — the frames visible in Figure 1:
+  ``_start_blrts > main > PMPI_Barrier > MPIDI_BGLGI_Barrier >
+  BGLMP_GIBarrier`` with the ``BGLML_pollfcn / BGLML_Messager_advance /
+  BGLML_Messager_CMadvance`` progress-engine recursion whose depth varies
+  from sample to sample (that variation is what widens the 3D
+  trace-space-time tree over the 2D one).
+* :class:`LinuxStackModel` — an MPICH-on-Linux shape for Atlas
+  (``_start > __libc_start_main > main > PMPI_* > MPIDI_CH3I_Progress >
+  MPID_nem_ib_poll``).
+
+Determinism: depth variation draws from a caller-provided RNG, so sampled
+3D trees are reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.frames import Frame, StackTrace
+from repro.mpi.runtime import RankState
+
+__all__ = ["StackModel", "BGLStackModel", "LinuxStackModel"]
+
+
+class StackModel:
+    """Interface: produce the current stack trace for a rank state."""
+
+    #: module name carrying the application's own symbols
+    app_module = "app"
+    #: module name of the MPI library (drives symbol-table staging)
+    mpi_module = "libmpi"
+
+    def __init__(self) -> None:
+        # Distinct traces are few (state kinds x depth draws); memoizing
+        # them makes full-machine emulation (millions of walks) cheap and
+        # lets identical traces share one immutable StackTrace instance.
+        self._trace_cache: dict = {}
+
+    def _cached(self, key: tuple, builder) -> StackTrace:
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            trace = builder()
+            self._trace_cache[key] = trace
+        return trace
+
+    def trace_for(self, state: RankState,
+                  rng: Optional[np.random.Generator] = None,
+                  thread_id: int = 0) -> StackTrace:
+        """Stack trace for one sampled instant."""
+        raise NotImplementedError
+
+    def mean_depth(self) -> float:
+        """Expected frame count (used by sampling cost models)."""
+        raise NotImplementedError
+
+
+def _draw_depth(rng: Optional[np.random.Generator], low: int, high: int) -> int:
+    """Progress-engine recursion depth for this instant."""
+    if rng is None or high <= low:
+        return low
+    return int(rng.integers(low, high + 1))
+
+
+class BGLStackModel(StackModel):
+    """BlueGene/L frames (matches the paper's Figure 1)."""
+
+    app_module = "ring_test_bgl"
+    mpi_module = "ring_test_bgl"  # statically linked: one module
+
+    BASE = ("_start_blrts", "main")
+
+    def _progress_engine(self, depth: int) -> List[str]:
+        """The BGLML messager polling recursion, ``depth`` rounds deep."""
+        frames: List[str] = ["BGLML_pollfcn", "BGLML_Messager_advance"]
+        for _ in range(depth - 1):
+            frames += ["BGLML_Messager_CMadvance", "BGLML_Messager_advance"]
+        frames.append("BGLML_Messager_CMadvance")
+        return frames
+
+    def trace_for(self, state: RankState,
+                  rng: Optional[np.random.Generator] = None,
+                  thread_id: int = 0) -> StackTrace:
+        kind = state.kind
+        depth = 0
+        tod = False
+        if kind in ("barrier", "allreduce", "bcast"):
+            depth = _draw_depth(rng, 1, 3)
+        elif kind in ("waitall", "recv_wait"):
+            depth = _draw_depth(rng, 1, 3)
+            # Occasionally the walker catches the timing call instead of
+            # the messager (the __gettimeofday leaf in Figure 1).
+            tod = rng is not None and rng.random() < 0.15
+        key = (kind, state.where, depth, tod, thread_id)
+        return self._cached(key, lambda: self._build(kind, state.where,
+                                                     depth, tod, thread_id))
+
+    def _build(self, kind: str, where: str, depth: int, tod: bool,
+               thread_id: int) -> StackTrace:
+        names: List[str]
+        if thread_id > 0:
+            # Worker threads (Section VII): a compute-team loop, not MPI.
+            names = ["_start_blrts", "_pthread_body", "omp_worker_loop",
+                     "do_team_chunk"]
+        elif kind in ("compute", "init"):
+            names = list(self.BASE) + ([where] if where != "main" else [])
+        elif kind == "stall":
+            names = list(self.BASE) + [where]
+        elif kind == "barrier":
+            names = list(self.BASE) + [
+                "PMPI_Barrier", "MPIDI_BGLGI_Barrier", "BGLMP_GIBarrier",
+            ] + self._progress_engine(depth)
+        elif kind == "allreduce":
+            names = list(self.BASE) + [
+                "PMPI_Allreduce", "MPIDO_Allreduce", "BGLMP_TreeAllreduce",
+            ] + self._progress_engine(depth)
+        elif kind == "bcast":
+            names = list(self.BASE) + [
+                "PMPI_Bcast", "MPIDO_Bcast",
+            ] + self._progress_engine(depth)
+        elif kind in ("waitall", "recv_wait"):
+            head = list(self.BASE) + ["PMPI_Waitall", "MPID_Progress_wait"]
+            names = head + (["__gettimeofday"] if tod
+                            else self._progress_engine(depth))
+        elif kind == "isend":
+            names = list(self.BASE) + ["PMPI_Isend", "BGLML_Messager_advance"]
+        elif kind == "done":
+            names = ["_start_blrts"]
+        else:
+            names = list(self.BASE)
+        return StackTrace(tuple(Frame(n, self.app_module) for n in names),
+                          thread_id=thread_id)
+
+    def mean_depth(self) -> float:
+        return 9.0
+
+
+class LinuxStackModel(StackModel):
+    """Atlas (Linux/MPICH-flavoured) frames; app and MPI in separate modules."""
+
+    app_module = "ring_test"
+    mpi_module = "libmpi.so"
+
+    BASE = ("_start", "__libc_start_main", "main")
+
+    def _progress(self, depth: int) -> List[str]:
+        frames = ["MPIDI_CH3I_Progress"]
+        for _ in range(depth):
+            frames.append("MPID_nem_ib_poll")
+        return frames
+
+    def _frames(self, names: List[str], n_app: int,
+                thread_id: int) -> StackTrace:
+        frames = tuple(
+            Frame(n, self.app_module if i < n_app else self.mpi_module)
+            for i, n in enumerate(names))
+        return StackTrace(frames, thread_id=thread_id)
+
+    def trace_for(self, state: RankState,
+                  rng: Optional[np.random.Generator] = None,
+                  thread_id: int = 0) -> StackTrace:
+        kind = state.kind
+        depth = 0
+        if kind in ("barrier", "waitall", "recv_wait", "allreduce",
+                    "bcast"):
+            depth = _draw_depth(rng, 1, 2)
+        key = (kind, state.where, depth, False, thread_id)
+        return self._cached(key, lambda: self._build(kind, state.where,
+                                                     depth, thread_id))
+
+    def _build(self, kind: str, where: str, depth: int,
+               thread_id: int) -> StackTrace:
+        base = list(self.BASE)
+        if thread_id > 0:
+            # Worker threads (Section VII): a compute-team loop, not MPI.
+            names = ["clone", "start_thread", "omp_worker_loop",
+                     "do_team_chunk"]
+            return self._frames(names, len(names), thread_id)
+        if kind in ("compute", "init"):
+            names = base + ([where] if where != "main" else [])
+            return self._frames(names, len(names), thread_id)
+        if kind == "stall":
+            names = base + [where]
+            return self._frames(names, len(names), thread_id)
+        if kind == "barrier":
+            names = base + ["PMPI_Barrier", "MPIR_Barrier_intra"] \
+                + self._progress(depth)
+            return self._frames(names, len(base), thread_id)
+        if kind == "allreduce":
+            names = base + ["PMPI_Allreduce", "MPIR_Allreduce_intra"] \
+                + self._progress(depth)
+            return self._frames(names, len(base), thread_id)
+        if kind == "bcast":
+            names = base + ["PMPI_Bcast", "MPIR_Bcast_intra"] \
+                + self._progress(depth)
+            return self._frames(names, len(base), thread_id)
+        if kind in ("waitall", "recv_wait"):
+            entry = "PMPI_Waitall" if kind == "waitall" else "PMPI_Recv"
+            names = base + [entry, "MPIR_Waitall_impl"] + self._progress(depth)
+            return self._frames(names, len(base), thread_id)
+        if kind == "isend":
+            names = base + ["PMPI_Isend", "MPID_nem_ib_iSendContig"]
+            return self._frames(names, len(base), thread_id)
+        if kind == "done":
+            return self._frames(["_start"], 1, thread_id)
+        return self._frames(base, len(base), thread_id)
+
+    def mean_depth(self) -> float:
+        return 7.0

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+Every environmental cost in this reproduction — network links, file servers,
+daemon-launch RPCs, progress-engine polling — is charged against a simulated
+clock managed by :class:`~repro.sim.engine.Engine`.  Real computation (prefix
+tree merges, bit-vector operations) runs natively in Python; the engine only
+supplies *when* things happen, never *what* they compute.
+
+The design is a deliberately small SimPy-like kernel:
+
+* :class:`~repro.sim.engine.Engine` — event heap and clock.
+* :class:`~repro.sim.engine.Event` — one-shot synchronization primitive.
+* :class:`~repro.sim.process.Process` — generator-coroutine task; ``yield``
+  an :class:`Event` (or a ``Timeout``) to block on it.
+* :class:`~repro.sim.resources.Resource` — FIFO shared resource with a fixed
+  capacity (e.g. a login node's cores, an NFS server's service threads).
+* :class:`~repro.sim.resources.QueueingServer` — a shared server whose
+  service time degrades with instantaneous load; this is the contention
+  mechanism behind the paper's Figure 8/9/10 file-system results.
+
+Determinism: given identical seeds and process-creation order, simulations
+are bit-for-bit reproducible (ties in the event heap break on a monotone
+sequence number).
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError, Timeout
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.random import SeedStream, make_rng
+from repro.sim.resources import QueueingServer, Resource
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "QueueingServer",
+    "SimulationError",
+    "make_rng",
+    "SeedStream",
+]

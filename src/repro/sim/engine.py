@@ -1,0 +1,282 @@
+"""Event heap, simulated clock, and the one-shot :class:`Event` primitive.
+
+The engine is intentionally tiny: a binary heap of ``(time, seq, callback)``
+entries and a monotonically increasing clock.  All higher-level behaviour
+(processes, resources, network links, file servers) is layered on top of
+:class:`Event` without the engine knowing about it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside a simulation.
+
+    Examples: yielding a non-event from a process, releasing a resource that
+    was never acquired, or running an engine whose time would go backwards.
+    """
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it exactly once, delivering ``value`` (or an exception) to
+    every registered waiter.  Waiters registered after triggering are invoked
+    immediately at the current simulated time.
+
+    Events are the only blocking primitive understood by
+    :class:`~repro.sim.process.Process`: a process ``yield``s an event and is
+    resumed with the event's value when it triggers.
+    """
+
+    __slots__ = ("engine", "_triggered", "_value", "_exception", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiters: List[Callable[["Event"], None]] = []
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        return self._exception
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, waking all waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
+
+    # -- waiting ---------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; fires immediately if triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state} at t={self.engine.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None,
+                 name: str = "timeout") -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(engine, name=name)
+        self.delay = float(delay)
+        engine.schedule(engine.now + self.delay, lambda: self.succeed(value))
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers (value = that event)."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="any_of")
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+
+        def on_first(ev: Event) -> None:
+            if not self._triggered:
+                if ev.exception is not None:
+                    self.fail(ev.exception)
+                else:
+                    self.succeed(ev)
+
+        for ev in events:
+            ev.add_callback(on_first)
+
+
+class AllOf(Event):
+    """Triggers when every event in ``events`` has triggered.
+
+    The value is the list of individual event values in input order.  If any
+    constituent fails, this event fails with the first failure.
+    """
+
+    __slots__ = ("_remaining", "_events")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="all_of")
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class Engine:
+    """Simulated clock plus an ordered heap of pending callbacks.
+
+    Time is a float in *simulated seconds*.  :meth:`run` drains the heap
+    until it is empty, a deadline passes, or :meth:`stop` is called.  Ties at
+    the same timestamp execute in scheduling order (a monotone sequence
+    number), which makes runs deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._stopped = False
+        self.steps_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulated time ``when`` (>= now)."""
+        if math.isnan(when):
+            raise SimulationError("cannot schedule at NaN time")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}")
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the current time, after pending same-time work."""
+        self.schedule(self._now, callback)
+
+    # -- event/timeout factories -----------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a pending :class:`Event` bound to this engine."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    def stop(self) -> None:
+        """Abort :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None,
+            max_steps: Optional[int] = None) -> float:
+        """Execute callbacks until the heap drains or limits are reached.
+
+        Parameters
+        ----------
+        until:
+            Optional deadline; callbacks scheduled strictly after it remain
+            queued and the clock is advanced to ``until``.
+        max_steps:
+            Optional hard cap on executed callbacks (guards against runaway
+            simulations in tests).
+
+        Returns
+        -------
+        float
+            The simulated time when execution stopped.
+        """
+        self._stopped = False
+        steps = 0
+        while self._heap and not self._stopped:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self._now = max(self._now, until)
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            callback()
+            steps += 1
+            self.steps_executed += 1
+            if max_steps is not None and steps >= max_steps:
+                raise SimulationError(
+                    f"simulation exceeded max_steps={max_steps}")
+        if until is not None and not self._heap and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next pending callback, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks waiting in the heap."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now:.6g} pending={len(self._heap)}>"

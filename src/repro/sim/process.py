@@ -1,0 +1,114 @@
+"""Generator-coroutine processes for the simulation engine.
+
+A *process* wraps a Python generator.  The generator ``yield``s
+:class:`~repro.sim.engine.Event` instances to block; when the event
+triggers, the process resumes with the event's value (or the event's
+exception is thrown into the generator, so ordinary ``try/except`` works).
+
+Example
+-------
+>>> from repro.sim import Engine, Process
+>>> eng = Engine()
+>>> def worker(eng):
+...     yield eng.timeout(2.0)
+...     return "done"
+>>> p = Process(eng, worker(eng), name="worker")
+>>> eng.run()
+2.0
+>>> p.value
+'done'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class ProcessKilled(Exception):
+    """Injected into a generator when its process is killed externally."""
+
+
+class Process(Event):
+    """A running generator; also an :class:`Event` that fires on completion.
+
+    The completion value is the generator's ``return`` value.  An uncaught
+    exception inside the generator fails the process event with that
+    exception, which propagates to any process ``yield``-ing on it — mirroring
+    how a crashed tool daemon surfaces in the front end.
+    """
+
+    __slots__ = ("generator", "_started")
+
+    def __init__(self, engine: Engine, generator: Generator[Event, Any, Any],
+                 name: str = "process", start: bool = True) -> None:
+        super().__init__(engine, name=name)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}")
+        self.generator = generator
+        self._started = False
+        if start:
+            # Start on the next engine step so creation order does not leak
+            # into same-timestamp execution order mid-callback.
+            engine.call_soon(self._start)
+
+    def _start(self) -> None:
+        if self._started or self._triggered:
+            return
+        self._started = True
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as killed:
+            self.fail(killed)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event "
+                f"{type(target).__name__!r}"))
+            return
+        target.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.exception is not None:
+            self._step(None, event.exception)
+        else:
+            self._step(event._value, None)
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if self._triggered:
+            return
+        if not self._started:
+            self._started = True
+            self._triggered = True
+            self._exception = ProcessKilled(reason)
+            self._dispatch()
+            return
+        self._step(None, ProcessKilled(reason))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else ("running" if self._started else "new")
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(engine: Engine, generator: Generator[Event, Any, Any],
+          name: str = "process") -> Process:
+    """Convenience wrapper: create and start a :class:`Process`."""
+    return Process(engine, generator, name=name)

@@ -1,0 +1,204 @@
+"""Shared resources with FIFO queueing and load-dependent servers.
+
+Two building blocks:
+
+* :class:`Resource` — classic counted resource (capacity N); processes
+  acquire/release.  Used for login-node cores, rsh connection slots, and
+  CPU time-sharing between tool daemons and spin-waiting MPI ranks.
+* :class:`QueueingServer` — a shared server whose per-request service time
+  *degrades with instantaneous load*.  This is the mechanism behind the
+  paper's Section VI observation that "independent" daemon operations thrash
+  the shared NFS server: each of D daemons opens the same binaries, so
+  effective service time grows with D and aggregate time grows worse than
+  linearly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Resource:
+    """A counted, FIFO-fair shared resource.
+
+    ``acquire()`` returns an :class:`Event` that triggers when a unit is
+    granted; the holder must later call :meth:`release` exactly once.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.total_acquisitions = 0
+        self.peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
+        event = self.engine.event(name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _grant(self, event: Event) -> None:
+        self._in_use += 1
+        self.total_acquisitions += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        event.succeed(self)
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def use(self, hold_time: float):
+        """Process helper: acquire, hold for ``hold_time``, release.
+
+        Usage inside a process generator::
+
+            yield from resource.use(0.5)
+        """
+        yield self.acquire()
+        try:
+            yield self.engine.timeout(hold_time)
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Resource {self.name!r} {self._in_use}/{self.capacity}"
+                f" queued={len(self._waiters)}>")
+
+
+#: Service-time model signature: f(base_time, concurrent_requests) -> seconds.
+ServiceModel = Callable[[float, int], float]
+
+
+def linear_degradation(slope: float) -> ServiceModel:
+    """Service time grows linearly with the number of queued+active requests.
+
+    ``service = base * (1 + slope * (load - 1))`` — with one client the
+    server runs at its base speed; each additional concurrent client adds
+    ``slope`` base-times of overhead (seek storms, cache eviction, NFS RPC
+    retransmits).  ``slope=0`` gives an ideal server.
+    """
+    def model(base: float, load: int) -> float:
+        return base * (1.0 + slope * max(0, load - 1))
+    return model
+
+
+def threshold_thrash(threshold: int, slope: float,
+                     max_factor: Optional[float] = None) -> ServiceModel:
+    """Ideal up to ``threshold`` concurrent clients, degrading beyond it.
+
+    Models a server with an effective cache: until the working set of
+    concurrent clients exceeds ``threshold`` the service time is flat, after
+    which every extra client costs ``slope`` base-times.  ``max_factor``
+    caps the degradation — a thrashing server bottoms out at its worst-case
+    seek-bound service rate rather than degrading forever, which is what
+    keeps Figure 8's aggregate growth "slightly worse than linear" instead
+    of quadratic.
+    """
+    def model(base: float, load: int) -> float:
+        factor = 1.0 + slope * max(0, load - threshold)
+        if max_factor is not None:
+            factor = min(factor, max_factor)
+        return base * factor
+    return model
+
+
+class QueueingServer:
+    """A shared server with ``capacity`` parallel service slots.
+
+    Each submitted request records the load it observed; its service time is
+    ``service_model(base_time, observed_load)``.  Requests beyond capacity
+    wait FIFO.  ``observed_load`` counts both in-service and queued requests,
+    so a burst of D simultaneous arrivals each pay for the burst — matching
+    the paper's "all participating daemons simultaneously access the
+    binaries, thrashing the file server".
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1,
+                 service_model: Optional[ServiceModel] = None,
+                 name: str = "server") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.service_model = service_model or linear_degradation(0.0)
+        self._active = 0
+        self._queue: Deque[Tuple[Event, float, int]] = deque()
+        self.requests_served = 0
+        self.busy_time = 0.0
+        self.peak_load = 0
+
+    @property
+    def load(self) -> int:
+        """In-service plus queued requests."""
+        return self._active + len(self._queue)
+
+    def submit(self, base_time: float, payload: Any = None) -> Event:
+        """Submit a request needing ``base_time`` seconds at zero load.
+
+        Returns an event that fires (with ``payload``) when service
+        completes.
+        """
+        if base_time < 0:
+            raise SimulationError(f"negative service time: {base_time}")
+        done = self.engine.event(name=f"{self.name}.request")
+        observed = self.load + 1
+        self.peak_load = max(self.peak_load, observed)
+        entry = (done, base_time, observed)
+        if self._active < self.capacity:
+            self._begin(entry, payload)
+        else:
+            self._queue.append(entry)
+            # Payload travels with the event via closure in _begin; store it.
+            done._value = payload  # staged; will be re-set on succeed
+        return done
+
+    def _begin(self, entry: Tuple[Event, float, int], payload: Any = None) -> None:
+        done, base_time, observed = entry
+        self._active += 1
+        service = self.service_model(base_time, observed)
+        if service < 0:
+            raise SimulationError(
+                f"service model returned negative time {service}")
+        self.busy_time += service
+
+        staged = payload if payload is not None else done._value
+
+        def finish() -> None:
+            self._active -= 1
+            self.requests_served += 1
+            done._value = None  # clear staging before the real succeed
+            done.succeed(staged)
+            if self._queue and self._active < self.capacity:
+                self._begin(self._queue.popleft())
+
+        self.engine.schedule(self.engine.now + service, finish)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QueueingServer {self.name!r} active={self._active}"
+                f"/{self.capacity} queued={len(self._queue)}>")

@@ -1,0 +1,30 @@
+"""STATBench — synthetic-trace emulation for extreme scale.
+
+The authors' own methodology for evaluating beyond available machine time
+was STATBench (reference [9]: "a tool emulation infrastructure" used to
+benchmark STAT for BG/L up to 128K processes).  This package plays the
+same role here: it produces per-rank states (and hence per-daemon locally
+merged trees) *without* running the MPI application model, which is how
+the full-machine 212,992-task benchmarks stay tractable.
+
+* :mod:`repro.statbench.generator` — synthetic rank-state assignments:
+  the ring-hang population of Figure 1, uniform k-class mixes, and
+  worst-case every-rank-distinct populations.
+* :mod:`repro.statbench.emulator` — builds daemon trees on demand from a
+  state assignment; plugs directly into
+  :meth:`repro.tbon.network.TBONetwork.reduce` as the leaf payload source.
+"""
+
+from repro.statbench.emulator import STATBenchEmulator
+from repro.statbench.generator import (
+    ring_hang_states,
+    uniform_class_states,
+    distinct_leaf_states,
+)
+
+__all__ = [
+    "STATBenchEmulator",
+    "ring_hang_states",
+    "uniform_class_states",
+    "distinct_leaf_states",
+]

@@ -1,0 +1,96 @@
+"""Daemon-tree emulation at scale.
+
+The emulator stands in for a fleet of live daemons: given a rank-state
+provider it constructs each daemon's locally merged trees on demand.  Used
+as the ``leaf_payload_fn`` of a TBO̅N reduction, trees are created lazily
+and released as soon as their parent filter consumes them, so the
+full-machine runs (1,664 daemons, 212,992 tasks) never materialize more
+than one tree level at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.daemon import STATDaemon
+from repro.core.merge import LabelScheme
+from repro.core.prefix_tree import PrefixTree
+from repro.core.taskset import TaskMap
+from repro.mpi.runtime import RankState
+from repro.mpi.stacks import StackModel
+from repro.sim.random import SeedStream
+
+__all__ = ["STATBenchEmulator", "DaemonTrees"]
+
+
+class DaemonTrees:
+    """The payload a daemon ships upward: its 2D and 3D trees together.
+
+    Section V-A: "we measure the time it takes for each STAT daemon to
+    send its locally-merged 2D trace-space and 3D trace-space-time prefix
+    trees through the MRNet tree" — both travel in one packet, so the wire
+    size is the sum.
+    """
+
+    __slots__ = ("tree_2d", "tree_3d")
+
+    def __init__(self, tree_2d: PrefixTree, tree_3d: PrefixTree) -> None:
+        self.tree_2d = tree_2d
+        self.tree_3d = tree_3d
+
+    def serialized_bytes(self) -> int:
+        """Combined wire size."""
+        return self.tree_2d.serialized_bytes() + self.tree_3d.serialized_bytes()
+
+    def node_count(self) -> int:
+        """Combined complexity (filter CPU model input)."""
+        return self.tree_2d.node_count() + self.tree_3d.node_count()
+
+
+class STATBenchEmulator:
+    """Factory of per-daemon locally merged trees."""
+
+    def __init__(self, task_map: TaskMap, scheme: LabelScheme,
+                 stack_model: StackModel,
+                 state_of: Callable[[int], RankState],
+                 num_samples: int = 10,
+                 threads_per_process: int = 1,
+                 seed: int = 208_000) -> None:
+        self.task_map = task_map
+        self.scheme = scheme
+        self.stack_model = stack_model
+        self.state_of = state_of
+        self.num_samples = num_samples
+        self.threads_per_process = threads_per_process
+        self._seeds = SeedStream(seed)
+        self.daemons_emulated = 0
+
+    def daemon_trees(self, daemon_id: int) -> DaemonTrees:
+        """Build daemon ``daemon_id``'s locally merged 2D+3D trees.
+
+        Deterministic per (seed, daemon): the same daemon always samples
+        the same traces regardless of emulation order.
+        """
+        rng = self._seeds.rng(f"daemon-{daemon_id}")
+        daemon = STATDaemon(
+            daemon_id, self.task_map, self.scheme, self.stack_model,
+            rng=rng, threads_per_process=self.threads_per_process)
+        tree_2d, tree_3d = daemon.sample_many(self.state_of, self.num_samples)
+        self.daemons_emulated += 1
+        return DaemonTrees(tree_2d, tree_3d)
+
+    def merge_filter(self):
+        """Merge callable over :class:`DaemonTrees` payloads."""
+        scheme = self.scheme
+
+        def merge(payloads):
+            return DaemonTrees(
+                scheme.merge([p.tree_2d for p in payloads]),
+                scheme.merge([p.tree_3d for p in payloads]),
+            )
+
+        return merge
+
+    def __repr__(self) -> str:
+        return (f"<STATBenchEmulator daemons={len(self.task_map)} "
+                f"scheme={self.scheme.name} samples={self.num_samples}>")

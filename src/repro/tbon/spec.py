@@ -1,0 +1,172 @@
+"""MRNet-style topology specifications.
+
+Real MRNet builds its tree from a *topology file* mapping parents to
+children (``host:rank => host:rank host:rank ;``) and ships helper
+generators for balanced trees (``mrnet_topgen -b 8x8``).  This module
+provides both interfaces over :class:`~repro.tbon.topology.Topology`:
+
+* :func:`parse_shape` — compact shape strings: ``"flat"``, ``"8x8"``
+  (fanouts per level, root first), ``"bgl-2deep"``, ``"bgl-3deep"``,
+  ``"balanced:2"``.
+* :func:`to_topology_file` / :func:`from_topology_file` — the explicit
+  parent => children text format, round-trippable, so a topology built
+  here can be fed to (or taken from) external tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+from repro.tbon.topology import Role, Topology, TopologyNode
+
+__all__ = ["parse_shape", "to_topology_file", "from_topology_file",
+           "SpecError"]
+
+
+class SpecError(ValueError):
+    """Malformed topology specification."""
+
+
+def parse_shape(shape: str, num_daemons: int) -> Topology:
+    """Build a topology for ``num_daemons`` from a shape string.
+
+    Supported forms:
+
+    * ``"flat"`` / ``"1-deep"`` — the 1-to-N star;
+    * ``"balanced:<depth>"`` — the Atlas nth-root rule;
+    * ``"bgl-2deep"`` / ``"bgl-3deep"`` — the paper's BG/L rules;
+    * ``"AxB"`` or ``"AxBxC"`` — explicit fanouts per CP level, root
+      first (MRNet topgen style); the daemon level is implied.  ``8x8``
+      means: 8 CPs under the front end, 8 sub-CPs under each, daemons
+      split evenly below.
+    """
+    shape = shape.strip().lower()
+    if shape in ("flat", "1-deep"):
+        return Topology.flat(num_daemons)
+    if shape == "bgl-2deep":
+        return Topology.bgl_two_deep(num_daemons)
+    if shape == "bgl-3deep":
+        return Topology.bgl_three_deep(num_daemons)
+    m = re.fullmatch(r"balanced:(\d+)", shape)
+    if m:
+        return Topology.balanced(num_daemons, int(m.group(1)))
+    m = re.fullmatch(r"\d+(x\d+)*", shape)
+    if m:
+        fanouts = [int(tok) for tok in shape.split("x")]
+        if any(f < 1 for f in fanouts):
+            raise SpecError(f"fanouts must be >= 1: {shape!r}")
+        return _from_fanouts(fanouts, num_daemons)
+    raise SpecError(f"unrecognized topology shape {shape!r}")
+
+
+def _from_fanouts(fanouts: Sequence[int], num_daemons: int) -> Topology:
+    """Explicit per-level CP fanouts, daemons spread under the last level."""
+    counter = [1]
+    root = TopologyNode(0, Role.FRONTEND)
+    level = [root]
+    for fanout in fanouts:
+        next_level: List[TopologyNode] = []
+        for parent in level:
+            for _ in range(fanout):
+                cp = TopologyNode(counter[0], Role.COMM, parent=parent)
+                counter[0] += 1
+                parent.children.append(cp)
+                next_level.append(cp)
+        level = next_level
+    if len(level) > num_daemons:
+        raise SpecError(
+            f"shape has {len(level)} bottom CPs but only {num_daemons} "
+            "daemons")
+    base, extra = divmod(num_daemons, len(level))
+    for i, cp in enumerate(level):
+        for _ in range(base + (1 if i < extra else 0)):
+            leaf = TopologyNode(counter[0], Role.DAEMON, parent=cp)
+            counter[0] += 1
+            cp.children.append(leaf)
+    label = "x".join(str(f) for f in fanouts)
+    topo = Topology(root, num_daemons, f"{len(fanouts) + 1}-deep[{label}]")
+    topo._prune_empty()
+    return topo
+
+
+def to_topology_file(topology: Topology) -> str:
+    """Serialize to the MRNet ``parent => children ;`` text format.
+
+    Node names are ``fe:0``, ``cp:<rank>``, ``be:<rank>``.
+    """
+    def name(node: TopologyNode) -> str:
+        if node.role is Role.FRONTEND:
+            return "fe:0"
+        if node.role is Role.COMM:
+            return f"cp:{node.rank if node.rank >= 0 else node.node_id}"
+        return f"be:{node.rank}"
+
+    lines = []
+    for node in topology.nodes:
+        if node.children:
+            children = " ".join(name(c) for c in node.children)
+            lines.append(f"{name(node)} => {children} ;")
+    return "\n".join(lines) + "\n"
+
+
+_LINE_RE = re.compile(r"^\s*(\S+)\s*=>\s*(.+?)\s*;\s*$")
+
+
+def from_topology_file(text: str) -> Topology:
+    """Parse the MRNet text format back into a :class:`Topology`."""
+    children_of: Dict[str, List[str]] = {}
+    seen_children = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise SpecError(f"line {lineno}: expected 'parent => kids ;'")
+        parent, kids = m.group(1), m.group(2).split()
+        if parent in children_of:
+            raise SpecError(f"line {lineno}: duplicate parent {parent!r}")
+        children_of[parent] = kids
+        for kid in kids:
+            if kid in seen_children:
+                raise SpecError(f"line {lineno}: {kid!r} has two parents")
+            seen_children.add(kid)
+
+    roots = [p for p in children_of if p not in seen_children]
+    if len(roots) != 1:
+        raise SpecError(f"need exactly one root, found {roots}")
+
+    counter = [0]
+
+    def build(name: str, parent: TopologyNode = None) -> TopologyNode:
+        if name.startswith("fe:"):
+            role = Role.FRONTEND
+        elif name.startswith("cp:"):
+            role = Role.COMM
+        elif name.startswith("be:"):
+            role = Role.DAEMON
+        else:
+            raise SpecError(f"unknown node kind {name!r}")
+        node = TopologyNode(counter[0], role, parent=parent)
+        counter[0] += 1
+        if parent is not None:
+            parent.children.append(node)
+        for kid in children_of.get(name, []):
+            if role is Role.DAEMON:
+                raise SpecError(f"daemon {name!r} cannot have children")
+            build(kid, node)
+        return node
+
+    root = build(roots[0])
+    daemons = sum(1 for n in _walk(root) if n.role is Role.DAEMON)
+    if daemons == 0:
+        raise SpecError("topology has no daemons (be:N leaves)")
+    topo = Topology(root, daemons, "from-file")
+    topo.validate()
+    return topo
+
+
+def _walk(node: TopologyNode):
+    yield node
+    for child in node.children:
+        yield from _walk(child)

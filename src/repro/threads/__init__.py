@@ -1,0 +1,21 @@
+"""Threading support — the Section VII extension.
+
+The paper's "challenge ahead": threads multiply the data volume ("an
+application running on 10,000 nodes with 8 threads per node presents many
+of the same challenges as an application running on 80,000 nodes") and the
+planned STAT design collects "a call stack from each thread in the
+application" while continuing "to associate each call stack with its
+process representation, rather than ... a new thread representation".
+
+That design is implemented across the core (walkers accept thread ids,
+daemons fan out over ``threads_per_process``, thread traces merge into the
+owning process's labels); this package adds the analysis layer:
+
+* :class:`~repro.threads.model.ThreadingModel` — equivalent-scale algebra
+  and the paper's two scaling expectations (constant per-thread sampling
+  slowdown; logarithmic merge slowdown), checkable against measurements.
+"""
+
+from repro.threads.model import ThreadingModel
+
+__all__ = ["ThreadingModel"]

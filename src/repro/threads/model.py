@@ -1,0 +1,90 @@
+"""Threading scale algebra and Section VII expectations.
+
+STAT's thread plan keeps the process as the unit of representation: worker
+threads contribute *extra traces* labelled with the owning process, so the
+prefix tree gains paths (thread stacks) but no new label dimensions.  The
+consequences the paper predicts, which this model encodes and the
+``bench_ablation_threads`` benchmark verifies empirically:
+
+* sampling: "only a constant slowdown per thread in stack trace sampling
+  time, as this operation happens in parallel across all nodes" —
+  per-daemon walk time scales linearly in ``threads_per_process``;
+* merging: "the MRNet scalable features will only cause a logarithmic
+  slowdown in merging time" — thread-induced tree growth rides the same
+  tree reduction as task growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampling import SamplingConfig
+from repro.machine.base import MachineModel
+
+__all__ = ["ThreadingModel"]
+
+
+@dataclass(frozen=True)
+class ThreadingModel:
+    """A threaded-application configuration on one machine."""
+
+    machine: MachineModel
+    threads_per_process: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threads_per_process < 1:
+            raise ValueError("threads_per_process must be >= 1")
+
+    # -- scale algebra -----------------------------------------------------
+    @property
+    def total_threads(self) -> int:
+        """Call stacks gathered per sampling instant, job-wide."""
+        return self.machine.total_tasks * self.threads_per_process
+
+    def equivalent_task_count(self) -> int:
+        """The unthreaded job size with the same data volume.
+
+        The paper's example: 10,000 nodes x 8 threads ~ an 80,000-node
+        unthreaded application, from the tool's perspective.
+        """
+        return self.total_threads
+
+    def data_multiplier(self) -> int:
+        """Threads as a multiplier on collected data (Section VII)."""
+        return self.threads_per_process
+
+    # -- Section VII expectations ---------------------------------------------
+    def expected_sampling_slowdown(self) -> float:
+        """Constant slowdown per thread: walks scale linearly in threads."""
+        return float(self.threads_per_process)
+
+    def expected_merge_slowdown_bound(self, baseline_paths: int,
+                                      thread_paths: int) -> float:
+        """Upper-bound factor for merge-time growth.
+
+        Thread stacks add at most ``thread_paths`` new tree paths per
+        process class; through the TBO̅N this costs at most the data-growth
+        factor, reached only if no thread paths coalesce — in practice
+        worker threads share loops and the factor stays near
+        ``log``-flat.  Used as an assertion ceiling by the ablation bench.
+        """
+        if baseline_paths < 1 or thread_paths < 0:
+            raise ValueError("path counts must be positive")
+        return 1.0 + thread_paths / baseline_paths
+
+    def sampling_config(self, base: SamplingConfig = SamplingConfig()) -> SamplingConfig:
+        """A sampling config with this model's thread count applied."""
+        return SamplingConfig(
+            num_samples=base.num_samples,
+            threads_per_process=self.threads_per_process,
+            application_stopped=base.application_stopped,
+            jitter_sigma=base.jitter_sigma,
+            merge_seconds_per_trace=base.merge_seconds_per_trace,
+            run_id=base.run_id,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for benchmark headers."""
+        return (f"{self.machine.describe()} x {self.threads_per_process} "
+                f"threads = {self.total_threads} stacks/sample "
+                f"(~{self.equivalent_task_count()} unthreaded tasks)")

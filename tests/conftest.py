@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.core.taskset import TaskMap
+from repro.machine.atlas import AtlasMachine
+from repro.machine.bgl import BGLMachine
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh simulation engine."""
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG."""
+    return np.random.default_rng(208_000)
+
+
+@pytest.fixture
+def small_task_map() -> TaskMap:
+    """4 daemons x 8 tasks, cyclic placement (remap is non-trivial)."""
+    return TaskMap.cyclic(4, 8)
+
+
+@pytest.fixture
+def atlas_small() -> AtlasMachine:
+    """A 16-node Atlas allocation (128 tasks)."""
+    return AtlasMachine.with_nodes(16)
+
+
+@pytest.fixture
+def bgl_small() -> BGLMachine:
+    """A 16-I/O-node BG/L partition in CO mode (1,024 tasks)."""
+    return BGLMachine.with_io_nodes(16, "co")
+
+
+@pytest.fixture
+def bgl_stacks() -> BGLStackModel:
+    return BGLStackModel()
+
+
+@pytest.fixture
+def linux_stacks() -> LinuxStackModel:
+    return LinuxStackModel()
+
+
+@pytest.fixture(params=["dense", "hierarchical"])
+def any_scheme(request):
+    """Both label schemes, parameterized (width 32 for dense)."""
+    if request.param == "dense":
+        return DenseLabelScheme(32)
+    return HierarchicalLabelScheme()

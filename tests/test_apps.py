@@ -1,0 +1,139 @@
+"""Integration tests: the target applications on the MPI substrate."""
+
+import pytest
+
+from repro.apps import (
+    master_worker_program,
+    ring_program,
+    stencil_program,
+)
+from repro.apps.bugs import (
+    NO_BUG,
+    HangBeforeSend,
+    InfiniteLoop,
+    LostMessage,
+)
+from repro.mpi.runtime import MPIRuntime
+from repro.sim.engine import Engine
+
+
+def run(size, program):
+    rt = MPIRuntime(Engine(), size)
+    rt.run_program(program)
+    return rt
+
+
+class TestRing:
+    def test_healthy_ring_completes(self):
+        rt = run(64, ring_program(bug=NO_BUG))
+        assert rt.unfinished_ranks() == []
+
+    def test_payload_travels_the_ring(self):
+        # the assertion inside ring_program validates recv payloads;
+        # a failure would surface as a failed (not unfinished) process
+        rt = run(16, ring_program(bug=NO_BUG))
+        assert all(p.ok for p in rt.processes)
+
+    @pytest.mark.parametrize("size", [3, 4, 64, 1024])
+    def test_hang_blocks_every_rank(self, size):
+        rt = run(size, ring_program(bug=HangBeforeSend(rank=1)))
+        assert len(rt.unfinished_ranks()) == size
+
+    def test_hang_state_population_matches_figure1(self):
+        """stall at 1; waitall at 2; barrier everywhere else."""
+        rt = run(1024, ring_program(bug=HangBeforeSend(rank=1)))
+        kinds = {}
+        for r in range(1024):
+            kinds.setdefault(rt.state_of(r).kind, []).append(r)
+        assert kinds["stall"] == [1]
+        assert kinds["waitall"] == [2]
+        assert len(kinds["barrier"]) == 1022
+
+    def test_hang_rank_configurable(self):
+        rt = run(32, ring_program(bug=HangBeforeSend(rank=7)))
+        assert rt.state_of(7).kind == "stall"
+        assert rt.state_of(8).kind == "waitall"
+
+    def test_hang_at_last_rank_wraps(self):
+        rt = run(8, ring_program(bug=HangBeforeSend(rank=7)))
+        assert rt.state_of(0).kind == "waitall"
+
+    def test_stall_where_name(self):
+        rt = run(8, ring_program(bug=HangBeforeSend(rank=1)))
+        assert rt.state_of(1).where == "do_SendOrStall"
+
+
+class TestStencil:
+    def test_healthy_stencil_completes(self):
+        rt = run(16, stencil_program(iterations=3, bug=NO_BUG))
+        assert rt.unfinished_ranks() == []
+
+    def test_infinite_loop_spreads_hang(self):
+        rt = run(32, stencil_program(iterations=6,
+                                     bug=InfiniteLoop(rank=16)))
+        hung = rt.unfinished_ranks()
+        assert 16 in hung
+        assert rt.state_of(16).kind == "stall"
+        # immediate neighbours block in the next exchange
+        assert rt.state_of(15).kind in ("waitall", "barrier")
+        assert rt.state_of(17).kind in ("waitall", "barrier")
+
+    def test_edge_ranks_have_one_neighbour(self):
+        rt = run(2, stencil_program(iterations=2, bug=NO_BUG))
+        assert rt.unfinished_ranks() == []
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            stencil_program(iterations=0)
+
+    def test_hang_wave_is_local_with_enough_distance(self):
+        """Far-away ranks reach the barrier; neighbours don't."""
+        rt = run(64, stencil_program(iterations=3,
+                                     bug=InfiniteLoop(rank=32)))
+        assert rt.state_of(0).kind == "barrier"
+        assert rt.state_of(63).kind == "barrier"
+        assert rt.state_of(33).kind == "waitall"
+
+
+class TestMasterWorker:
+    def test_healthy_farm_completes(self):
+        rt = run(8, master_worker_program(work_items=30, bug=NO_BUG))
+        assert rt.unfinished_ranks() == []
+
+    def test_no_work_still_terminates(self):
+        rt = run(4, master_worker_program(work_items=0, bug=NO_BUG))
+        assert rt.unfinished_ranks() == []
+
+    def test_single_rank_farm_noop(self):
+        rt = run(1, master_worker_program(work_items=5))
+        assert rt.unfinished_ranks() == []
+
+    def test_lost_poison_deadlocks_exactly_one_worker(self):
+        rt = run(8, master_worker_program(work_items=20,
+                                          bug=LostMessage(rank=3)))
+        assert rt.unfinished_ranks() == [3]
+        assert rt.state_of(3).kind == "recv_wait"
+
+    def test_other_workers_unaffected(self):
+        rt = run(8, master_worker_program(work_items=20,
+                                          bug=LostMessage(rank=3)))
+        for r in (1, 2, 4, 5, 6, 7):
+            assert rt.state_of(r).kind == "done"
+
+    def test_work_items_validated(self):
+        with pytest.raises(ValueError):
+            master_worker_program(work_items=-1)
+
+
+class TestBugSpecs:
+    def test_no_bug_applies_nowhere(self):
+        assert not NO_BUG.applies_to(0)
+        assert not NO_BUG.applies_to(-1)
+
+    def test_hang_applies_to_victim_only(self):
+        bug = HangBeforeSend(rank=5)
+        assert bug.applies_to(5) and not bug.applies_to(4)
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            HangBeforeSend(rank=1).rank = 2

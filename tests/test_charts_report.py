@@ -1,0 +1,83 @@
+"""Tests for ASCII charts and the reproduce-all report generator."""
+
+import pytest
+
+from repro.experiments.charts import render_chart
+from repro.experiments.common import ExperimentResult, Row
+from repro.experiments.report import DEFAULT_ORDER, reproduce_all, \
+    result_to_markdown
+from repro.experiments import REGISTRY
+
+
+def sample_result() -> ExperimentResult:
+    res = ExperimentResult("Figure X", "demo", "tasks", "seconds")
+    res.rows = [
+        Row("linear", 10, 1.0), Row("linear", 100, 10.0),
+        Row("linear", 1000, 100.0),
+        Row("log", 10, 1.0), Row("log", 100, 2.0), Row("log", 1000, 3.0),
+        Row("dead", 10, 0.5), Row("dead", 100, None, note="crash"),
+    ]
+    res.notes.append("a note")
+    return res
+
+
+class TestCharts:
+    def test_chart_contains_axes_and_legend(self):
+        chart = render_chart(sample_result())
+        assert "y: seconds" in chart
+        assert "x: tasks" in chart
+        assert "o linear" in chart
+        assert "(fails at x=100)" in chart
+
+    def test_chart_series_use_distinct_glyphs(self):
+        chart = render_chart(sample_result())
+        assert "o linear" in chart and "x log" in chart and "+ dead" in chart
+
+    def test_linear_and_log_shapes_differ_visually(self):
+        """The linear series climbs the grid; the log series stays low."""
+        chart = render_chart(sample_result(), width=40, height=10)
+        rows = [line[1:] for line in chart.splitlines()
+                if line.startswith("|")]
+        top_half = "".join(rows[:5])
+        assert "o" in top_half        # linear reaches the top decades
+        bottom = "".join(rows[5:])
+        assert "x" in bottom          # log stays in the low decades
+
+    def test_empty_result(self):
+        res = ExperimentResult("F", "t", "x", "y")
+        assert "no plottable points" in render_chart(res)
+
+    def test_all_failed(self):
+        res = ExperimentResult("F", "t", "x", "y",
+                               rows=[Row("s", 1, None)])
+        assert "no plottable points" in render_chart(res)
+
+
+class TestMarkdownReport:
+    def test_section_structure(self):
+        md = result_to_markdown(sample_result())
+        assert md.startswith("## Figure X")
+        assert "| series | x | y |" in md
+        assert "**FAIL** — crash" in md
+        assert "> a note" in md
+        assert "```" in md  # the chart block
+
+    def test_chart_can_be_disabled(self):
+        md = result_to_markdown(sample_result(), include_chart=False)
+        assert "```" not in md
+
+    def test_reproduce_all_subset(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = reproduce_all(out_path=out, quick=True,
+                             only=["fig2", "fig6"])
+        assert out.read_text() == text
+        assert "# Reproduction report" in text
+        assert "Figure 2" in text and "Figure 6" in text
+        assert "Figure 3" not in text
+
+    def test_reproduce_all_unknown_id(self):
+        with pytest.raises(KeyError):
+            reproduce_all(only=["fig99"])
+
+    def test_default_order_covers_registry(self):
+        assert set(DEFAULT_ORDER) == set(REGISTRY)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import REGISTRY
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.machine == "bgl" and args.daemons == 16
+
+    def test_figure_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in REGISTRY:
+            assert key in out
+
+    def test_demo_bgl(self, capsys):
+        assert main(["demo", "--daemons", "4", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence classes: 3" in out
+        assert "do_SendOrStall" in out
+        assert "attach a heavyweight debugger to ranks" in out
+
+    def test_demo_atlas_with_sbrs(self, capsys):
+        assert main(["demo", "--machine", "atlas", "--daemons", "4",
+                     "--samples", "2", "--sbrs"]) == 0
+        out = capsys.readouterr().out
+        assert "sbrs" in out
+
+    def test_figure_quick_runs(self, capsys):
+        assert main(["figure", "fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "launchmon" in out
+        assert "FAIL" in out  # the rsh line at 512
+
+    def test_figure_fig6_quick(self, capsys):
+        assert main(["figure", "fig6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "1 megabit" in out
+
+    def test_demo_with_topology_shape(self, capsys):
+        assert main(["demo", "--daemons", "8", "--samples", "2",
+                     "--topology", "2x4"]) == 0
+        assert "equivalence classes" in capsys.readouterr().out
+
+    def test_save_and_inspect_roundtrip(self, tmp_path, capsys):
+        session_dir = str(tmp_path / "sess")
+        assert main(["demo", "--daemons", "4", "--samples", "2",
+                     "--save", session_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["inspect", session_dir]) == 0
+        out = capsys.readouterr().out
+        assert "classes:" in out and "do_SendOrStall" in out
+
+        assert main(["inspect", session_dir, "--rank", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "do_SendOrStall" in out
+
+        assert main(["inspect", session_dir,
+                     "--function", "PMPI_Waitall"]) == 0
+        out = capsys.readouterr().out
+        assert "1:[2]" in out

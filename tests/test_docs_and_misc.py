@@ -1,0 +1,84 @@
+"""Doctests, describe() surfaces, and documentation consistency checks."""
+
+import doctest
+import pathlib
+
+import pytest
+
+import repro
+import repro.core.ranklist
+import repro.sim.process
+import repro.sim.random
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module", [
+        repro.core.ranklist,
+        repro.sim.process,
+        repro.sim.random,
+    ])
+    def test_module_doctests(self, module):
+        failures, tests = doctest.testmod(module).failed, \
+            doctest.testmod(module).attempted
+        assert tests > 0, f"{module.__name__} lost its doctest examples"
+        assert failures == 0
+
+
+class TestDescribeSurfaces:
+    def test_machine_describe(self, bgl_small, atlas_small):
+        assert "16 daemons x 64 tasks = 1024 tasks" in bgl_small.describe()
+        assert atlas_small.describe().startswith("atlas-16n")
+
+    def test_sampling_report_describe(self, atlas_small, linux_stacks):
+        from repro.core.sampling import SamplingConfig
+        from repro.experiments.common import timed_sampling
+        report, _ = timed_sampling(atlas_small, linux_stacks,
+                                   config=SamplingConfig(jitter_sigma=0.0))
+        text = report.describe()
+        assert "max=" in text and "symtab" in text
+
+    def test_threading_describe(self, bgl_small):
+        from repro.threads.model import ThreadingModel
+        text = ThreadingModel(bgl_small, 4).describe()
+        assert "4 threads" in text
+
+    def test_topology_reprs(self):
+        from repro.tbon.topology import Topology
+        assert "2-deep" in repr(Topology.bgl_two_deep(64))
+
+
+class TestDocumentationConsistency:
+    def test_design_mentions_every_figure_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for bench in sorted((REPO / "benchmarks").glob("bench_fig*.py")):
+            assert bench.name in design, f"{bench.name} missing from DESIGN.md"
+
+    def test_experiments_covers_every_figure(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for n in range(1, 11):
+            assert f"## Figure {n} " in experiments
+
+    def test_readme_links_resolve(self):
+        readme = (REPO / "README.md").read_text()
+        for target in ("DESIGN.md", "EXPERIMENTS.md",
+                       "docs/architecture.md", "docs/calibration.md"):
+            assert target in readme
+            assert (REPO / target).exists()
+
+    def test_registry_ids_documented_in_cli_help(self):
+        from repro.cli import build_parser
+        # argparse stores choices; every registry id must be offered
+        from repro.experiments import REGISTRY
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if a.dest == "command")
+        figure_parser = sub.choices["figure"]
+        ids_action = next(a for a in figure_parser._actions
+                          if a.dest == "id")
+        assert set(ids_action.choices) == set(REGISTRY)
+
+    def test_version_consistency(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject

@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+The heavier examples (scaling_bgl, threaded_app, debug_hang) exercise the
+same public APIs covered by the integration tests; here we execute the
+quick ones end to end to catch import/path rot in `examples/`.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "bitvector_anatomy.py",
+                 "session_workflow.py", "sbrs_demo.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout  # produced some report
+
+
+def test_quickstart_shows_figure1_classes():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "1022:[0,3-1023]" in proc.stdout
+    assert "do_SendOrStall" in proc.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script.name
+        assert '"""' in text.split("\n", 1)[1][:10], script.name

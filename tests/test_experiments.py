@@ -1,0 +1,49 @@
+"""Smoke tests: every experiment runner produces well-formed rows."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.common import ExperimentResult, Row
+
+
+class TestRowAndResult:
+    def test_row_formatting(self):
+        row = Row("series", 128, 1.5)
+        assert "series" in row.formatted()
+        assert not row.failed
+
+    def test_failed_row(self):
+        row = Row("series", 128, None, note="boom")
+        assert row.failed
+        assert "FAIL" in row.formatted()
+
+    def test_result_series_sorted(self):
+        res = ExperimentResult("F", "t", "x", "y")
+        res.rows = [Row("a", 2, 1.0), Row("a", 1, 2.0), Row("b", 1, 3.0)]
+        assert [r.x for r in res.series("a")] == [1, 2]
+        assert res.series_names() == ["a", "b"]
+
+    def test_render_includes_notes(self):
+        res = ExperimentResult("F", "t", "x", "y", notes=["hello"])
+        assert "note: hello" in res.render()
+
+
+class TestRegistry:
+    def test_all_modules_importable(self):
+        import importlib
+        for name, module in REGISTRY.items():
+            mod = importlib.import_module(module)
+            assert hasattr(mod, "run"), name
+
+
+@pytest.mark.parametrize("fig_id", sorted(REGISTRY))
+def test_quick_run_produces_rows(fig_id):
+    """Every figure/claim regenerates (quick mode) with sane rows."""
+    import importlib
+    mod = importlib.import_module(REGISTRY[fig_id])
+    result = mod.run(quick=True)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, fig_id
+    for row in result.rows:
+        assert row.y is None or row.y >= 0
+    assert result.render()

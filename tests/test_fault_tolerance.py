@@ -1,0 +1,96 @@
+"""Tests for TBO̅N daemon-failure handling."""
+
+import pytest
+
+from repro.core.merge import HierarchicalLabelScheme
+from repro.core.taskset import TaskMap
+from repro.mpi.stacks import BGLStackModel
+from repro.statbench import STATBenchEmulator, ring_hang_states
+from repro.statbench.emulator import DaemonTrees
+from repro.tbon.network import DaemonFailure, TBONetwork
+from repro.tbon.topology import Topology
+
+
+def make_reduce(machine, topology, dead, **kwargs):
+    def leaf(rank):
+        if rank in dead:
+            raise DaemonFailure(f"daemon {rank} died")
+        return rank
+    net = TBONetwork(topology, machine)
+    return net.reduce(leaf, lambda ps: sum(ps), lambda p: 100, **kwargs)
+
+
+class TestSkipPolicy:
+    def test_raise_is_default(self, atlas_small):
+        with pytest.raises(DaemonFailure):
+            make_reduce(atlas_small, Topology.flat(16), dead={3})
+
+    def test_skip_records_missing(self, atlas_small):
+        res = make_reduce(atlas_small, Topology.flat(16), dead={3, 7},
+                          on_daemon_failure="skip")
+        assert sorted(res.missing_daemons) == [3, 7]
+        assert res.payload == sum(range(16)) - 3 - 7
+
+    def test_skip_whole_subtree(self, atlas_small):
+        topo = Topology.two_deep(16, 4)   # 4 daemons per CP
+        res = make_reduce(atlas_small, topo, dead={0, 1, 2, 3},
+                          on_daemon_failure="skip")
+        assert res.payload == sum(range(4, 16))
+        assert len(res.missing_daemons) == 4
+
+    def test_all_dead_raises(self, atlas_small):
+        with pytest.raises(DaemonFailure, match="every daemon"):
+            make_reduce(atlas_small, Topology.flat(8), dead=set(range(8)),
+                        on_daemon_failure="skip")
+
+    def test_failure_timeout_delays_completion(self, atlas_small):
+        topo = Topology.flat(8)
+        ok = make_reduce(atlas_small, topo, dead=set(),
+                         on_daemon_failure="skip", failure_detect_s=5.0)
+        degraded = make_reduce(atlas_small, topo, dead={1},
+                               on_daemon_failure="skip",
+                               failure_detect_s=5.0)
+        assert degraded.sim_time >= 5.0 > ok.sim_time
+
+    def test_invalid_policy(self, atlas_small):
+        with pytest.raises(ValueError):
+            make_reduce(atlas_small, Topology.flat(4), dead=set(),
+                        on_daemon_failure="retry")
+
+    def test_network_profile_mentions_missing(self, atlas_small):
+        res = make_reduce(atlas_small, Topology.flat(8), dead={2},
+                          on_daemon_failure="skip")
+        assert "MISSING daemons: [2]" in res.network_profile()
+
+
+class TestDegradedStatSession:
+    def test_stat_merge_survives_daemon_loss(self, bgl_small, bgl_stacks):
+        """Losing a daemon loses its tasks' traces but nothing else."""
+        tm = TaskMap.block(bgl_small.num_daemons,
+                           bgl_small.tasks_per_daemon)
+        emulator = STATBenchEmulator(
+            tm, HierarchicalLabelScheme(), bgl_stacks,
+            ring_hang_states(bgl_small.total_tasks), num_samples=4)
+
+        def leaf(rank):
+            if rank == 5:
+                raise DaemonFailure("io node 5 lost")
+            return emulator.daemon_trees(rank)
+
+        net = TBONetwork(Topology.bgl_two_deep(bgl_small.num_daemons),
+                         bgl_small)
+        res = net.reduce(leaf, emulator.merge_filter(),
+                         DaemonTrees.serialized_bytes,
+                         DaemonTrees.node_count,
+                         on_daemon_failure="skip")
+        assert res.missing_daemons == [5]
+        final = HierarchicalLabelScheme().finalize(
+            res.payload.tree_3d, tm)
+        observed = set()
+        for _, label in final.edges():
+            observed.update(label.to_ranks().tolist())
+        lost = set(tm.ranks_of(5).tolist())
+        # no lost rank can appear anywhere ...
+        assert not (observed & lost)
+        # ... and every other rank is still covered
+        assert observed == set(range(bgl_small.total_tasks)) - lost

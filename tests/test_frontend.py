@@ -1,0 +1,128 @@
+"""Integration tests: the full STAT front-end pipeline."""
+
+import pytest
+
+from repro.apps import ring_program
+from repro.apps.bugs import NO_BUG
+from repro.core.frontend import STATFrontEnd, STATResult
+from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.launch.launchmon import LaunchMonLauncher
+from repro.machine.atlas import AtlasMachine
+from repro.machine.bgl import BGLMachine
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel
+from repro.statbench import ring_hang_states
+from repro.tbon.topology import Topology
+
+
+class TestDefaults:
+    def test_atlas_defaults(self):
+        fe = STATFrontEnd(AtlasMachine.with_nodes(128))
+        assert isinstance(fe.launcher, LaunchMonLauncher)
+        assert isinstance(fe.stack_model, LinuxStackModel)
+        assert fe.topology.depth == 2
+
+    def test_bgl_defaults(self, bgl_small):
+        fe = STATFrontEnd(bgl_small)
+        assert isinstance(fe.stack_model, BGLStackModel)
+        assert fe.launcher.name.startswith("bgl-ciod")
+
+    def test_small_jobs_get_flat_topology(self):
+        fe = STATFrontEnd(AtlasMachine.with_nodes(8))
+        assert fe.topology.depth == 1
+
+    def test_bgl_large_uses_sqrt28_rule(self):
+        fe = STATFrontEnd(BGLMachine.with_io_nodes(1024, "co"))
+        assert len(fe.topology.comm_processes) == 28
+
+
+class TestSessions:
+    def test_live_app_session_on_atlas(self, atlas_small):
+        fe = STATFrontEnd(atlas_small, seed=5)
+        result = fe.debug_hung_application(ring_program())
+        assert isinstance(result, STATResult)
+        assert [c.size for c in result.classes] == [126, 1, 1]
+        assert result.classes[1].ranks in ((1,), (2,))
+
+    def test_healthy_app_refuses_attach(self, atlas_small):
+        fe = STATFrontEnd(atlas_small, seed=5)
+        with pytest.raises(RuntimeError, match="completed"):
+            fe.debug_hung_application(ring_program(bug=NO_BUG))
+
+    def test_statbench_session_on_bgl(self, bgl_small):
+        fe = STATFrontEnd(bgl_small, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        assert [c.size for c in result.classes] == [1022, 1, 1]
+
+    def test_phase_timings_present(self, bgl_small):
+        fe = STATFrontEnd(bgl_small, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        for phase in ("launch", "sample", "merge", "remap"):
+            assert result.timings[phase] > 0
+        assert result.total_seconds == pytest.approx(
+            sum(result.timings.values()))
+
+    def test_bgl_launch_dominates_at_1024_tasks(self, bgl_small):
+        """Figure 3: startup >100 s even at 1,024 compute nodes."""
+        fe = STATFrontEnd(bgl_small, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        assert result.timings["launch"] > 90
+        assert result.timings["launch"] > 10 * result.timings["merge"]
+
+    def test_schemes_agree_on_final_tree(self, bgl_small):
+        results = []
+        for scheme in (DenseLabelScheme(bgl_small.total_tasks),
+                       HierarchicalLabelScheme()):
+            fe = STATFrontEnd(bgl_small, scheme=scheme, seed=5)
+            results.append(fe.attach_and_analyze(ring_hang_states(1024)))
+        assert results[0].tree_3d.structurally_equal(results[1].tree_3d)
+        assert [c.ranks for c in results[0].classes] == \
+            [c.ranks for c in results[1].classes]
+
+    def test_dense_scheme_skips_remap(self, bgl_small):
+        fe = STATFrontEnd(bgl_small,
+                          scheme=DenseLabelScheme(bgl_small.total_tasks),
+                          seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        assert result.timings["remap"] == 0.0
+
+    def test_sbrs_session_records_relocation(self, atlas_small):
+        fe = STATFrontEnd(atlas_small, seed=5)
+        result = fe.attach_and_analyze(
+            ring_hang_states(atlas_small.total_tasks), use_sbrs=True)
+        assert result.relocation is not None
+        assert result.timings["sbrs"] > 0
+        assert result.relocation.relocated  # something moved
+
+    def test_sbrs_speeds_up_sampling(self, atlas_small):
+        fe = STATFrontEnd(atlas_small, seed=5)
+        plain = fe.attach_and_analyze(
+            ring_hang_states(atlas_small.total_tasks))
+        sbrs = fe.attach_and_analyze(
+            ring_hang_states(atlas_small.total_tasks), use_sbrs=True)
+        assert sbrs.timings["sample"] < plain.timings["sample"]
+
+    def test_block_mapping_skips_shuffle(self, bgl_small):
+        fe = STATFrontEnd(bgl_small, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024),
+                                       mapping="block")
+        assert [c.size for c in result.classes] == [1022, 1, 1]
+
+    def test_summary_renders(self, bgl_small):
+        fe = STATFrontEnd(bgl_small, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        text = result.summary()
+        assert "launch" in text and "1022:[0,3-1023]" in text
+
+    def test_deterministic_given_seed(self, bgl_small):
+        a = STATFrontEnd(bgl_small, seed=9).attach_and_analyze(
+            ring_hang_states(1024))
+        b = STATFrontEnd(bgl_small, seed=9).attach_and_analyze(
+            ring_hang_states(1024))
+        assert a.timings == b.timings
+        assert a.tree_3d.structurally_equal(b.tree_3d)
+
+    def test_custom_topology_respected(self, bgl_small):
+        topo = Topology.flat(bgl_small.num_daemons)
+        fe = STATFrontEnd(bgl_small, topology=topo, seed=5)
+        result = fe.attach_and_analyze(ring_hang_states(1024))
+        assert result.merge.messages == bgl_small.num_daemons

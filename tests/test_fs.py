@@ -1,0 +1,157 @@
+"""Unit tests for the file-system substrate: servers, mtab, staging."""
+
+import pytest
+
+from repro.fs import (
+    LustreServer,
+    MountTable,
+    NFSServer,
+    RamDisk,
+    stage_binaries,
+)
+from repro.fs.server import FileServer, LocalDisk
+from repro.machine.atlas import atlas_binary_spec
+from repro.machine.bgl import bgl_binary_spec
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+
+
+class TestFileServer:
+    def test_single_read_cost(self, engine):
+        srv = NFSServer(engine)
+        done = srv.request_read(60_000_000)  # 1 second of streaming
+        engine.run()
+        assert done.triggered
+        assert engine.now == pytest.approx(1.005, rel=0.01)
+
+    def test_negative_read_rejected(self, engine):
+        with pytest.raises(ValueError):
+            NFSServer(engine).request_read(-1)
+
+    def test_contention_degrades_service(self):
+        """D simultaneous clients finish far later than D/capacity x base."""
+        eng1 = Engine()
+        lone = NFSServer(eng1)
+        lone.request_read(1_000_000)
+        eng1.run()
+        solo_time = eng1.now
+
+        eng2 = Engine()
+        busy = NFSServer(eng2)
+        for _ in range(256):
+            busy.request_read(1_000_000)
+        eng2.run()
+        ideal = solo_time * 256 / busy.server.capacity
+        assert eng2.now > ideal * 2  # thrash: worse than ideal queueing
+
+    def test_requests_served_counter(self, engine):
+        srv = NFSServer(engine)
+        for _ in range(5):
+            srv.request_read(1000)
+        engine.run()
+        assert srv.requests_served == 5
+
+    def test_lustre_more_capacity_pricier_opens(self, engine):
+        nfs = NFSServer(engine)
+        lustre = LustreServer(engine)
+        assert lustre.server.capacity > nfs.server.capacity
+        assert lustre.open_overhead_s > nfs.open_overhead_s
+
+    def test_lustre_similar_to_nfs_at_small_scale(self):
+        """'at this scale, LUSTRE offers little improvement over NFS'"""
+        def completion(make_server, clients):
+            engine = Engine()
+            srv = make_server(engine)
+            for _ in range(clients):
+                srv.request_read(1_000_000)
+            engine.run()
+            return engine.now
+
+        nfs = completion(NFSServer, 128)
+        lustre = completion(LustreServer, 128)
+        assert lustre < nfs  # some improvement ...
+        assert nfs / lustre < 4  # ... but far from the SBRS win
+
+
+class TestLocalDisks:
+    def test_ramdisk_is_fast_and_constant(self):
+        ram = RamDisk()
+        t = ram.read_seconds(4 * 1024 * 1024)
+        assert t < 0.01
+        assert ram.read_seconds(4 * 1024 * 1024) == t
+
+    def test_localdisk_slower_than_ramdisk(self):
+        assert LocalDisk().read_seconds(10_000_000) > \
+            RamDisk().read_seconds(10_000_000)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RamDisk().read_seconds(-5)
+
+
+class TestMountTable:
+    def make(self, engine) -> MountTable:
+        return MountTable({
+            "nfs": NFSServer(engine),
+            "ramdisk": RamDisk(),
+        })
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MountTable({})
+
+    def test_is_shared(self, engine):
+        mtab = self.make(engine)
+        assert mtab.is_shared("nfs")
+        assert not mtab.is_shared("ramdisk")
+        with pytest.raises(KeyError):
+            mtab.is_shared("gpfs")
+
+    def test_resolve(self, engine):
+        mtab = self.make(engine)
+        assert isinstance(mtab.resolve("app", "nfs"), FileServer)
+        assert isinstance(mtab.resolve("app", "ramdisk"), RamDisk)
+
+    def test_redirect_interposes_open(self, engine):
+        mtab = self.make(engine)
+        mtab.redirect("app", "ramdisk")
+        assert isinstance(mtab.resolve("app", "nfs"), RamDisk)
+        # other files unaffected
+        assert isinstance(mtab.resolve("libmpi.so", "nfs"), FileServer)
+
+    def test_redirect_to_unknown_mount_rejected(self, engine):
+        with pytest.raises(KeyError):
+            self.make(engine).redirect("app", "gpfs")
+
+    def test_contains(self, engine):
+        mtab = self.make(engine)
+        assert "nfs" in mtab and "gpfs" not in mtab
+
+
+class TestStaging:
+    def test_atlas_dynamic_binary_stages_many_files(self):
+        files = stage_binaries(atlas_binary_spec(True), "nfs")
+        assert len(files) >= 6
+        assert all(f.mount == "nfs" for f in files)
+
+    def test_bgl_static_binary_is_one_file(self):
+        files = stage_binaries(bgl_binary_spec(), "nfs")
+        assert len(files) == 1
+
+    def test_symtab_fraction_applied(self):
+        files = stage_binaries(atlas_binary_spec(False), "nfs")
+        libmpi = next(f for f in files if f.name == "libmpi.so")
+        assert libmpi.symtab_bytes == libmpi.nbytes // 4
+
+    def test_overrides(self):
+        files = stage_binaries(atlas_binary_spec(False), "nfs",
+                               overrides={"libmpi.so": "localdisk"})
+        mounts = {f.name: f.mount for f in files}
+        assert mounts["libmpi.so"] == "localdisk"
+        assert mounts["ring_test"] == "nfs"
+
+    def test_relocated_to(self):
+        files = stage_binaries(atlas_binary_spec(False), "nfs")
+        moved = files[0].relocated_to("ramdisk")
+        assert moved.mount == "ramdisk"
+        assert moved.nbytes == files[0].nbytes

@@ -1,0 +1,125 @@
+"""Unit tests for the Atlas and BG/L platform models."""
+
+import pytest
+
+from repro.machine.atlas import ATLAS_MAX_NODES, AtlasMachine, \
+    atlas_binary_spec
+from repro.machine.base import BinarySpec, HostPool
+from repro.machine.bgl import BGL_MAX_IO_NODES, BGLMachine, bgl_binary_spec
+
+
+class TestHostPool:
+    def test_dedicated_pool(self):
+        pool = HostPool(num_hosts=0)
+        assert pool.dedicated
+        assert pool.host_of(7) == 7
+        assert pool.slowdown(100) == 1.0
+
+    def test_shared_pool_round_robin(self):
+        pool = HostPool(num_hosts=14, cores_per_host=2)
+        assert pool.host_of(0) == 0
+        assert pool.host_of(14) == 0
+        assert pool.host_of(15) == 1
+
+    def test_shared_pool_slowdown(self):
+        pool = HostPool(num_hosts=14, cores_per_host=2)
+        assert pool.slowdown(1) == 1.0
+        assert pool.slowdown(2) == 1.0
+        assert pool.slowdown(4) == 2.0
+
+
+class TestBinarySpec:
+    def test_total_bytes(self):
+        spec = BinarySpec(executable_bytes=100,
+                          shared_libraries={"a": 50, "b": 25})
+        assert spec.total_bytes() == 175
+
+    def test_all_files_sorted_libs(self):
+        spec = BinarySpec(executable_name="exe", executable_bytes=1,
+                          shared_libraries={"z": 2, "a": 3})
+        names = [n for n, _ in spec.all_files()]
+        assert names == ["exe", "a", "z"]
+
+
+class TestAtlas:
+    def test_paper_geometry(self):
+        m = AtlasMachine.with_nodes(512)
+        assert m.tasks_per_daemon == 8
+        assert m.total_tasks == 4096
+        assert m.cp_hosts.dedicated
+        assert m.daemon_shares_host_with_app
+
+    def test_max_nodes_enforced(self):
+        AtlasMachine.with_nodes(ATLAS_MAX_NODES)
+        with pytest.raises(ValueError):
+            AtlasMachine.with_nodes(ATLAS_MAX_NODES + 1)
+
+    def test_for_tasks(self):
+        assert AtlasMachine.for_tasks(1024).num_daemons == 128
+        with pytest.raises(ValueError):
+            AtlasMachine.for_tasks(1001)
+
+    def test_binary_spec_pre_update_has_more_nfs_libs(self):
+        pre = atlas_binary_spec(libraries_on_nfs=True)
+        post = atlas_binary_spec(libraries_on_nfs=False)
+        assert len(pre.shared_libraries) > len(post.shared_libraries)
+        assert "libmpi.so" in post.shared_libraries
+
+    def test_sbrs_relocation_set_matches_paper(self):
+        """'two main binary files, the base executable (10KB) and the MPI
+        library (4MB)'"""
+        spec = atlas_binary_spec(libraries_on_nfs=False)
+        assert spec.executable_bytes == 10 * 1024
+        assert spec.shared_libraries["libmpi.so"] == 4 * 1024 * 1024
+
+    def test_transfer_time_monotone(self):
+        m = AtlasMachine.with_nodes(4)
+        assert m.transfer_time(1000) < m.transfer_time(1_000_000)
+
+
+class TestBGL:
+    def test_full_machine_vn_is_208k(self):
+        m = BGLMachine.full_machine("vn")
+        assert m.total_tasks == 212_992
+        assert m.num_daemons == 1664
+        assert m.tasks_per_daemon == 128
+
+    def test_full_machine_co_is_104k(self):
+        m = BGLMachine.full_machine("co")
+        assert m.total_tasks == 106_496
+        assert m.tasks_per_daemon == 64
+
+    def test_io_node_ratio(self):
+        """One I/O node per 64 compute nodes."""
+        m = BGLMachine.with_compute_nodes(1024, "co")
+        assert m.num_daemons == 16
+
+    def test_compute_nodes_must_divide(self):
+        with pytest.raises(ValueError):
+            BGLMachine.with_compute_nodes(1000, "co")
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            BGLMachine.with_io_nodes(4, "smp")
+
+    def test_max_io_nodes(self):
+        with pytest.raises(ValueError):
+            BGLMachine.with_io_nodes(BGL_MAX_IO_NODES + 1)
+
+    def test_cp_pool_is_14_login_nodes(self):
+        m = BGLMachine.with_io_nodes(4)
+        assert m.cp_hosts.num_hosts == 14
+        assert m.cp_hosts.cores_per_host == 2
+
+    def test_daemons_own_their_io_node(self):
+        assert not BGLMachine.with_io_nodes(4).daemon_shares_host_with_app
+
+    def test_static_binary(self):
+        assert bgl_binary_spec().shared_libraries == {}
+
+    def test_mode_property(self):
+        assert BGLMachine.with_io_nodes(4, "vn").mode == "vn"
+        assert BGLMachine.with_io_nodes(4, "co").mode == "co"
+
+    def test_tool_children_limit_present(self):
+        assert BGLMachine.with_io_nodes(4).extras["max_tool_children"] == 192

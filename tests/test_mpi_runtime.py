@@ -1,0 +1,181 @@
+"""Unit tests for the simulated MPI runtime (matching semantics)."""
+
+import pytest
+
+from repro.mpi.runtime import ANY_SOURCE, ANY_TAG, MPIRuntime
+from repro.sim.engine import Engine, SimulationError
+
+
+def run(size, program, **kwargs):
+    runtime = MPIRuntime(Engine(), size, **kwargs)
+    runtime.run_program(program)
+    return runtime
+
+
+class TestPointToPoint:
+    def test_send_then_recv(self):
+        got = {}
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=5, payload="hello")
+            else:
+                got[ctx.rank] = yield from ctx.recv(source=0, tag=5)
+        rt = run(2, program)
+        assert rt.unfinished_ranks() == []
+        assert got[1] == "hello"
+
+    def test_recv_posted_before_send(self):
+        got = {}
+        def program(ctx):
+            if ctx.rank == 1:
+                got[1] = yield from ctx.recv(source=0, tag=1)
+            else:
+                yield from ctx.compute(0.5)
+                ctx.isend(1, tag=1, payload=42)
+        rt = run(2, program)
+        assert got[1] == 42
+
+    def test_unexpected_message_queue(self):
+        """Send arrives long before the receive is posted."""
+        got = {}
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.isend(1, tag=9, payload="early")
+            else:
+                yield from ctx.compute(1.0)
+                got[1] = yield from ctx.recv(source=0, tag=9)
+        assert run(2, program).unfinished_ranks() == []
+        assert got[1] == "early"
+
+    def test_tag_matching_is_selective(self):
+        got = {}
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.isend(1, tag=1, payload="one")
+                ctx.isend(1, tag=2, payload="two")
+            else:
+                got["tag2"] = yield from ctx.recv(source=0, tag=2)
+                got["tag1"] = yield from ctx.recv(source=0, tag=1)
+        run(2, program)
+        assert got == {"tag2": "two", "tag1": "one"}
+
+    def test_any_source_any_tag(self):
+        got = []
+        def program(ctx):
+            if ctx.rank == 0:
+                for _ in range(3):
+                    got.append((yield from ctx.recv(source=ANY_SOURCE,
+                                                    tag=ANY_TAG)))
+            else:
+                yield from ctx.compute(0.001 * ctx.rank)
+                ctx.isend(0, tag=ctx.rank, payload=ctx.rank)
+        run(4, program)
+        assert sorted(got) == [1, 2, 3]
+
+    def test_send_to_invalid_rank(self):
+        def program(ctx):
+            ctx.isend(99)
+            yield ctx.runtime.engine.timeout(0.1)
+        rt = run(2, program)
+        # both rank processes failed with SimulationError
+        assert all(isinstance(p.exception, SimulationError)
+                   for p in rt.processes)
+
+    def test_isend_completes_eagerly(self):
+        """Eager sends complete without a matching receive."""
+        done = {}
+        def program(ctx):
+            if ctx.rank == 0:
+                req = ctx.isend(1, tag=0, payload="x")
+                yield from ctx.waitall([req])
+                done[0] = True
+            else:
+                yield from ctx.compute(0.01)
+        rt = run(2, program)
+        assert done.get(0) is True
+
+
+class TestWaitall:
+    def test_waits_for_all(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.irecv(source=s, tag=0) for s in (1, 2)]
+                yield from ctx.waitall(reqs)
+                assert sorted(r.payload for r in reqs) == [1, 2]
+            else:
+                yield from ctx.compute(0.1 * ctx.rank)
+                ctx.isend(0, tag=0, payload=ctx.rank)
+        assert run(3, program).unfinished_ranks() == []
+
+    def test_empty_waitall(self):
+        def program(ctx):
+            yield from ctx.waitall([])
+        assert run(2, program).unfinished_ranks() == []
+
+    def test_waitall_state_visible(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.waitall([ctx.irecv(source=1, tag=0)])
+            else:
+                yield ctx.runtime.engine.event()  # block forever
+        rt = run(2, program)
+        assert rt.state_of(0).kind == "waitall"
+
+
+class TestBarrier:
+    def test_all_ranks_released_together(self):
+        times = {}
+        def program(ctx):
+            yield from ctx.compute(0.1 * ctx.rank)
+            yield from ctx.barrier()
+            times[ctx.rank] = ctx.runtime.engine.now
+        rt = run(4, program)
+        assert rt.unfinished_ranks() == []
+        assert len(set(times.values())) == 1
+
+    def test_missing_rank_hangs_barrier(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.runtime.engine.event()  # never arrives
+            yield from ctx.barrier()
+        rt = run(4, program)
+        assert rt.unfinished_ranks() == [0, 1, 2, 3]
+        assert all(rt.state_of(r).kind == "barrier" for r in (1, 2, 3))
+
+    def test_single_rank_barrier(self):
+        def program(ctx):
+            yield from ctx.barrier()
+        assert run(1, program).unfinished_ranks() == []
+
+
+class TestRuntimeBookkeeping:
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            MPIRuntime(Engine(), 0)
+
+    def test_prev_next_ring_neighbours(self):
+        rt = MPIRuntime(Engine(), 4)
+        assert rt.contexts[0].prev == 3
+        assert rt.contexts[3].next == 0
+
+    def test_messages_sent_counter(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.isend(1, tag=0)
+            yield ctx.runtime.engine.timeout(0.01)
+        rt = run(2, program)
+        assert rt.messages_sent == 1
+
+    def test_state_of_done_rank(self):
+        def program(ctx):
+            yield ctx.runtime.engine.timeout(0.01)
+        rt = run(2, program)
+        assert rt.state_of(0).kind == "done"
+
+    def test_deterministic_completion_time(self):
+        def program(ctx):
+            yield from ctx.compute(0.1)
+            yield from ctx.barrier()
+        t1 = run(8, program).engine.now
+        t2 = run(8, program).engine.now
+        assert t1 == t2

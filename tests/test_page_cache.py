@@ -1,0 +1,97 @@
+"""Tests for the node-local page cache and its effect on sampling."""
+
+import pytest
+
+from repro.core.sampling import SamplingConfig, time_sampling_phase
+from repro.fs import MountTable, NFSServer, PageCache, RamDisk, \
+    stage_binaries
+from repro.machine.atlas import AtlasMachine, atlas_binary_spec
+from repro.mpi.stacks import LinuxStackModel
+from repro.sim.engine import Engine
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        cache = PageCache()
+        assert not cache.lookup("libmpi.so")
+        cache.insert("libmpi.so", 4_000_000)
+        assert cache.lookup("libmpi.so")
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = PageCache(capacity_bytes=100)
+        cache.insert("a", 60)
+        cache.insert("b", 30)
+        cache.lookup("a")          # refresh a's recency
+        cache.insert("c", 40)      # must evict b (LRU), not a
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_oversized_file_not_cached(self):
+        cache = PageCache(capacity_bytes=100)
+        cache.insert("huge", 1000)
+        assert "huge" not in cache
+        assert cache.used_bytes == 0
+
+    def test_reinsert_updates_size(self):
+        cache = PageCache(capacity_bytes=100)
+        cache.insert("a", 40)
+        cache.insert("a", 60)
+        assert cache.used_bytes == 60
+
+    def test_invalidate(self):
+        cache = PageCache()
+        cache.insert("a", 10)
+        cache.insert("b", 20)
+        cache.invalidate("a")
+        assert "a" not in cache and "b" in cache
+        cache.invalidate()
+        assert cache.used_bytes == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(capacity_bytes=0)
+
+    def test_negative_insert_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache().insert("a", -1)
+
+
+class TestCachedSampling:
+    def _run(self, cached: bool) -> float:
+        machine = AtlasMachine.with_nodes(32)
+        engine = Engine()
+        mtab = MountTable({"nfs": NFSServer(engine), "ramdisk": RamDisk()})
+        files = stage_binaries(atlas_binary_spec(), "nfs")
+        report = time_sampling_phase(
+            machine, mtab, files, LinuxStackModel(),
+            SamplingConfig(jitter_sigma=0.0, symtab_cached=cached),
+            engine=engine)
+        return float(report.symtab_seconds.max())
+
+    def test_cache_eliminates_repeat_parses(self):
+        """Cached: 1 I/O round; uncached prototype: one per sample."""
+        cached = self._run(True)
+        uncached = self._run(False)
+        assert uncached > cached * 5   # ~10 rounds vs 1, under contention
+
+    def test_cached_cost_close_to_single_round(self):
+        machine = AtlasMachine.with_nodes(4)
+        engine = Engine()
+        mtab = MountTable({"nfs": NFSServer(engine), "ramdisk": RamDisk()})
+        files = stage_binaries(atlas_binary_spec(), "nfs")
+        one_round = time_sampling_phase(
+            machine, mtab, files, LinuxStackModel(),
+            SamplingConfig(num_samples=1, jitter_sigma=0.0,
+                           symtab_cached=False),
+            engine=engine).symtab_seconds.max()
+        engine2 = Engine()
+        mtab2 = MountTable({"nfs": NFSServer(engine2),
+                            "ramdisk": RamDisk()})
+        ten_cached = time_sampling_phase(
+            machine, mtab2, files, LinuxStackModel(),
+            SamplingConfig(num_samples=10, jitter_sigma=0.0,
+                           symtab_cached=True),
+            engine=engine2).symtab_seconds.max()
+        assert ten_cached == pytest.approx(float(one_round), rel=1e-6)

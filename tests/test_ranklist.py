@@ -1,0 +1,87 @@
+"""Unit tests for compressed rank-list formatting (Figure 1 labels)."""
+
+import pytest
+
+from repro.core.ranklist import (
+    compress_ranks,
+    format_edge_label,
+    format_rank_list,
+    parse_rank_list,
+)
+
+
+class TestCompress:
+    def test_empty(self):
+        assert compress_ranks([]) == []
+
+    def test_single(self):
+        assert compress_ranks([5]) == [(5, 5)]
+
+    def test_run_collapse(self):
+        assert compress_ranks([1, 2, 3, 7]) == [(1, 3), (7, 7)]
+
+    def test_unsorted_input(self):
+        assert compress_ranks([3, 1, 2]) == [(1, 3)]
+
+    def test_duplicates_ignored(self):
+        assert compress_ranks([1, 1, 2]) == [(1, 2)]
+
+
+class TestFormat:
+    def test_figure1_main_label(self):
+        assert format_edge_label(range(1024)) == "1024:[0-1023]"
+
+    def test_figure1_barrier_label(self):
+        ranks = [0] + list(range(3, 1024))
+        assert format_edge_label(ranks) == "1022:[0,3-1023]"
+
+    def test_figure1_single_task_labels(self):
+        assert format_edge_label([1]) == "1:[1]"
+        assert format_edge_label([2]) == "1:[2]"
+
+    def test_truncation_ellipsis(self):
+        label = format_rank_list([8, 11, 12, 17, 40, 50], max_runs=3)
+        assert label == "[8,11-12,17,...]"
+
+    def test_no_truncation_when_under_limit(self):
+        assert format_rank_list([1, 5], max_runs=4) == "[1,5]"
+
+    def test_count_never_truncated(self):
+        label = format_edge_label(list(range(0, 100, 2)), max_runs=2)
+        assert label.startswith("50:")
+        assert label.endswith("...]")
+
+    def test_empty_list(self):
+        assert format_rank_list([]) == "[]"
+        assert format_edge_label([]) == "0:[]"
+
+
+class TestParse:
+    def test_roundtrip_simple(self):
+        ranks = [0, 3, 4, 5, 1023]
+        assert parse_rank_list(format_rank_list(ranks)) == ranks
+
+    def test_parse_single(self):
+        assert parse_rank_list("[7]") == [7]
+
+    def test_parse_empty(self):
+        assert parse_rank_list("[]") == []
+
+    def test_parse_run(self):
+        assert parse_rank_list("[2-5]") == [2, 3, 4, 5]
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            parse_rank_list("[1,2,...]")
+
+    def test_unbracketed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rank_list("1,2,3")
+
+    def test_descending_run_rejected(self):
+        with pytest.raises(ValueError, match="descending"):
+            parse_rank_list("[5-2]")
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rank_list("[a-b]")

@@ -1,0 +1,90 @@
+"""Unit tests for the Scalable Binary Relocation Service (Section VI-B)."""
+
+import pytest
+
+from repro.fs import MountTable, NFSServer, RamDisk, SBRS, stage_binaries
+from repro.fs.server import LocalDisk
+from repro.machine.atlas import atlas_binary_spec
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def world(engine):
+    mtab = MountTable({
+        "nfs": NFSServer(engine),
+        "ramdisk": RamDisk(),
+        "localdisk": LocalDisk(),
+    })
+    files = stage_binaries(atlas_binary_spec(libraries_on_nfs=False), "nfs")
+    return engine, mtab, files
+
+
+class TestRelocation:
+    def test_relocates_shared_files_only(self, world):
+        engine, mtab, files = world
+        files = files + [files[0].relocated_to("localdisk")]
+        sbrs = SBRS(mtab)
+        report = sbrs.relocate(engine, files, num_daemons=128)
+        assert set(report.relocated) == {"ring_test", "libmpi.so"}
+        assert report.skipped_local == ["ring_test"]  # the localdisk copy
+
+    def test_installs_open_redirects(self, world):
+        engine, mtab, files = world
+        SBRS(mtab).relocate(engine, files, num_daemons=16)
+        assert isinstance(mtab.resolve("libmpi.so", "nfs"), RamDisk)
+
+    def test_effective_files_point_to_ramdisk(self, world):
+        engine, mtab, files = world
+        sbrs = SBRS(mtab)
+        sbrs.relocate(engine, files, num_daemons=16)
+        effective = sbrs.effective_files(files)
+        assert all(f.mount == "ramdisk" for f in effective)
+
+    def test_bytes_broadcast_matches_footprint(self, world):
+        engine, mtab, files = world
+        report = SBRS(mtab).relocate(engine, files, num_daemons=128)
+        assert report.bytes_broadcast == sum(f.nbytes for f in files)
+
+    def test_paper_anchor_88ms_order(self, world):
+        """'0.088 seconds to relocate ... to 128 nodes' — within 50%."""
+        engine, mtab, files = world
+        report = SBRS(mtab).relocate(engine, files, num_daemons=128)
+        assert 0.044 <= report.sim_time <= 0.132
+
+    def test_single_daemon_no_broadcast_hops(self, world):
+        engine, mtab, files = world
+        sbrs = SBRS(mtab)
+        assert sbrs.broadcast_seconds(1_000_000, 1) == 0.0
+
+    def test_broadcast_scales_logarithmically(self, world):
+        _, mtab, _ = world
+        sbrs = SBRS(mtab)
+        t128 = sbrs.broadcast_seconds(4_000_000, 128)
+        t1024 = sbrs.broadcast_seconds(4_000_000, 1024)
+        assert t1024 / t128 == pytest.approx(10 / 7, rel=0.01)
+
+    def test_invalid_daemon_count(self, world):
+        _, mtab, _ = world
+        with pytest.raises(ValueError):
+            SBRS(mtab).broadcast_seconds(100, 0)
+
+    def test_requires_ramdisk_mount(self, engine):
+        mtab = MountTable({"nfs": NFSServer(engine)})
+        with pytest.raises(KeyError):
+            SBRS(mtab)
+
+    def test_grace_period_reported_separately(self, world):
+        engine, mtab, files = world
+        sbrs = SBRS(mtab, sigstop_grace_s=0.5)
+        report = sbrs.relocate(engine, files, num_daemons=16)
+        assert report.sigstop_grace_s == 0.5
+        assert report.total_overhead == pytest.approx(
+            report.sim_time + 0.5)
+
+    def test_master_fetch_single_reader(self, world):
+        """SBRS replaces D concurrent readers with one master fetch."""
+        engine, mtab, files = world
+        nfs = mtab.resolve("libmpi.so", "nfs")
+        SBRS(mtab).relocate(engine, files, num_daemons=1024)
+        # one request per relocated file, regardless of daemon count
+        assert nfs.requests_served == len(files)

@@ -1,0 +1,261 @@
+"""Unit tests for the discrete-event engine and its primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import AllOf, AnyOf, Engine, Event, SimulationError, \
+    Timeout
+from repro.sim.process import Process, ProcessKilled, spawn
+
+
+class TestEngine:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_clock_custom_start(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_advances_clock(self, engine):
+        fired = []
+        engine.schedule(2.5, lambda: fired.append(engine.now))
+        assert engine.run() == 2.5
+        assert fired == [2.5]
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, lambda: None)
+
+    def test_schedule_nan_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), lambda: None)
+
+    def test_same_time_events_fire_in_schedule_order(self, engine):
+        order = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        assert engine.run(until=2.0) == 2.0
+        assert fired == [1]
+        assert engine.pending == 1
+
+    def test_run_until_advances_clock_when_heap_empty(self, engine):
+        assert engine.run(until=7.0) == 7.0
+        assert engine.now == 7.0
+
+    def test_max_steps_guard(self, engine):
+        def reschedule():
+            engine.schedule(engine.now + 1.0, reschedule)
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_steps"):
+            engine.run(max_steps=10)
+
+    def test_stop_aborts_run(self, engine):
+        fired = []
+        def first():
+            fired.append(1)
+            engine.stop()
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+        assert engine.pending == 1
+
+    def test_peek_empty_is_inf(self, engine):
+        assert engine.peek() == math.inf
+
+    def test_peek_returns_next_time(self, engine):
+        engine.schedule(3.0, lambda: None)
+        assert engine.peek() == 3.0
+
+    def test_call_soon_runs_at_current_time(self, engine):
+        times = []
+        engine.schedule(4.0, lambda: engine.call_soon(
+            lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [4.0]
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, engine):
+        ev = engine.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        assert got == [42]
+
+    def test_callback_after_trigger_fires_immediately(self, engine):
+        ev = engine.event()
+        ev.succeed("x")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["x"]
+
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        with pytest.raises(TypeError):
+            engine.event().fail("not an exception")
+
+    def test_value_of_pending_event_raises(self, engine):
+        with pytest.raises(SimulationError):
+            _ = engine.event().value
+
+    def test_failed_event_value_raises_original(self, engine):
+        ev = engine.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+        assert not ev.ok
+
+    def test_timeout_fires_after_delay(self, engine):
+        t = Timeout(engine, 1.5, value="done")
+        engine.run()
+        assert t.triggered and t.value == "done"
+        assert engine.now == 1.5
+
+    def test_negative_timeout_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Timeout(engine, -1.0)
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self, engine):
+        events = [engine.timeout(t) for t in (1.0, 3.0, 2.0)]
+        combo = engine.all_of(events)
+        engine.run()
+        assert combo.triggered
+        assert engine.now == 3.0
+
+    def test_all_of_empty_triggers_immediately(self, engine):
+        assert engine.all_of([]).triggered
+
+    def test_all_of_collects_values_in_order(self, engine):
+        a, b = engine.timeout(2.0, "a"), engine.timeout(1.0, "b")
+        combo = engine.all_of([a, b])
+        engine.run()
+        assert combo.value == ["a", "b"]
+
+    def test_any_of_fires_on_first(self, engine):
+        slow, fast = engine.timeout(5.0), engine.timeout(1.0)
+        combo = engine.any_of([slow, fast])
+        engine.run(until=2.0)
+        assert combo.triggered and combo.value is fast
+
+    def test_any_of_empty_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.any_of([])
+
+    def test_all_of_propagates_failure(self, engine):
+        good, bad = engine.timeout(1.0), engine.event()
+        combo = engine.all_of([good, bad])
+        bad.fail(RuntimeError("daemon died"))
+        engine.run()
+        assert isinstance(combo.exception, RuntimeError)
+
+
+class TestProcess:
+    def test_process_returns_value(self, engine):
+        def worker():
+            yield engine.timeout(2.0)
+            return "done"
+        p = Process(engine, worker())
+        engine.run()
+        assert p.ok and p.value == "done"
+
+    def test_process_receives_event_value(self, engine):
+        def worker():
+            got = yield engine.timeout(1.0, "payload")
+            return got
+        p = Process(engine, worker())
+        engine.run()
+        assert p.value == "payload"
+
+    def test_process_chains_on_other_process(self, engine):
+        def inner():
+            yield engine.timeout(1.0)
+            return 10
+        def outer():
+            val = yield spawn(engine, inner())
+            return val + 1
+        p = Process(engine, outer())
+        engine.run()
+        assert p.value == 11
+
+    def test_exception_propagates_to_waiter(self, engine):
+        def bad():
+            yield engine.timeout(1.0)
+            raise RuntimeError("crash")
+        def waiter():
+            try:
+                yield spawn(engine, bad())
+            except RuntimeError:
+                return "caught"
+        p = Process(engine, waiter())
+        engine.run()
+        assert p.value == "caught"
+
+    def test_yield_non_event_fails_process(self, engine):
+        def bad():
+            yield 42
+        p = Process(engine, bad())
+        engine.run()
+        assert isinstance(p.exception, SimulationError)
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Process(engine, lambda: None)
+
+    def test_kill_running_process(self, engine):
+        def worker():
+            yield engine.timeout(100.0)
+        p = Process(engine, worker())
+        engine.run(until=1.0)
+        p.kill("test")
+        assert isinstance(p.exception, ProcessKilled)
+
+    def test_kill_before_start(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+        p = Process(engine, worker())
+        p.kill()
+        engine.run()
+        assert isinstance(p.exception, ProcessKilled)
+
+    def test_process_can_catch_kill(self, engine):
+        def worker():
+            try:
+                yield engine.timeout(100.0)
+            except ProcessKilled:
+                return "cleaned up"
+        p = Process(engine, worker())
+        engine.run(until=1.0)
+        p.kill()
+        assert p.value == "cleaned up"
+
+    def test_deterministic_interleaving(self):
+        def run_once():
+            engine = Engine()
+            log = []
+            def worker(name, delay):
+                yield engine.timeout(delay)
+                log.append(name)
+                yield engine.timeout(delay)
+                log.append(name)
+            for i in range(5):
+                Process(engine, worker(f"w{i}", 1.0 + i * 0.5))
+            engine.run()
+            return log
+        assert run_once() == run_once()

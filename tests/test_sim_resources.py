@@ -1,0 +1,148 @@
+"""Unit tests for resources and load-dependent servers."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Process
+from repro.sim.resources import QueueingServer, Resource, \
+    linear_degradation, threshold_thrash
+
+
+class TestResource:
+    def test_capacity_validation(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_immediate_grant_below_capacity(self, engine):
+        res = Resource(engine, capacity=2)
+        assert res.acquire().triggered
+        assert res.acquire().triggered
+        assert res.in_use == 2
+
+    def test_queueing_beyond_capacity(self, engine):
+        res = Resource(engine, capacity=1)
+        res.acquire()
+        second = res.acquire()
+        assert not second.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert second.triggered
+        assert res.queue_length == 0
+
+    def test_fifo_order(self, engine):
+        res = Resource(engine, capacity=1)
+        res.acquire()
+        waiters = [res.acquire() for _ in range(3)]
+        res.release()
+        assert [w.triggered for w in waiters] == [True, False, False]
+
+    def test_release_idle_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine).release()
+
+    def test_use_helper_holds_and_releases(self, engine):
+        res = Resource(engine, capacity=1)
+        done = []
+        def worker(i):
+            yield from res.use(1.0)
+            done.append((i, engine.now))
+        for i in range(3):
+            Process(engine, worker(i))
+        engine.run()
+        assert [t for _, t in done] == [1.0, 2.0, 3.0]
+        assert res.in_use == 0
+
+    def test_statistics(self, engine):
+        res = Resource(engine, capacity=2)
+        res.acquire(); res.acquire()
+        res.release()
+        assert res.total_acquisitions == 2
+        assert res.peak_in_use == 2
+
+
+class TestServiceModels:
+    def test_linear_degradation_at_load_one(self):
+        assert linear_degradation(0.5)(2.0, 1) == 2.0
+
+    def test_linear_degradation_grows(self):
+        model = linear_degradation(0.1)
+        assert model(1.0, 11) == pytest.approx(2.0)
+
+    def test_threshold_thrash_flat_below_threshold(self):
+        model = threshold_thrash(8, 0.2)
+        assert model(1.0, 8) == 1.0
+        assert model(1.0, 1) == 1.0
+
+    def test_threshold_thrash_grows_above(self):
+        model = threshold_thrash(8, 0.5)
+        assert model(1.0, 10) == pytest.approx(2.0)
+
+
+class TestQueueingServer:
+    def test_single_request_takes_base_time(self, engine):
+        srv = QueueingServer(engine, capacity=1)
+        done = srv.submit(2.0, payload="x")
+        engine.run()
+        assert done.value == "x"
+        assert engine.now == 2.0
+
+    def test_capacity_limits_parallelism(self, engine):
+        srv = QueueingServer(engine, capacity=2)
+        for _ in range(4):
+            srv.submit(1.0)
+        engine.run()
+        # 4 requests, 2 at a time, 1s each -> 2s
+        assert engine.now == pytest.approx(2.0)
+        assert srv.requests_served == 4
+
+    def test_load_degradation_observed_at_submit(self, engine):
+        srv = QueueingServer(engine, capacity=1,
+                             service_model=linear_degradation(1.0))
+        first = srv.submit(1.0)   # load 1 -> 1s
+        second = srv.submit(1.0)  # load 2 -> 2s
+        engine.run()
+        assert engine.now == pytest.approx(3.0)
+        assert first.triggered and second.triggered
+
+    def test_peak_load_tracked(self, engine):
+        srv = QueueingServer(engine, capacity=1)
+        for _ in range(5):
+            srv.submit(0.5)
+        engine.run()
+        assert srv.peak_load == 5
+
+    def test_negative_service_time_rejected(self, engine):
+        srv = QueueingServer(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            srv.submit(-1.0)
+
+    def test_burst_pays_for_burst(self, engine):
+        """D simultaneous arrivals each observe the burst (Section VI)."""
+        srv = QueueingServer(engine, capacity=4,
+                             service_model=threshold_thrash(4, 0.1))
+        events = [srv.submit(1.0) for _ in range(16)]
+        engine.run()
+        assert all(e.triggered for e in events)
+        lone = Engine()
+        solo = QueueingServer(lone, capacity=4,
+                              service_model=threshold_thrash(4, 0.1))
+        solo.submit(1.0)
+        lone.run()
+        # Aggregate far exceeds 16/4 * base: worse than linear.
+        assert engine.now > 4.0 * lone.now * 1.5
+
+    def test_fifo_queue_drain(self, engine):
+        srv = QueueingServer(engine, capacity=1)
+        order = []
+        for i in range(3):
+            srv.submit(1.0, payload=i).add_callback(
+                lambda e: order.append(e.value))
+        engine.run()
+        assert order == [0, 1, 2]
+
+    def test_busy_time_accumulates(self, engine):
+        srv = QueueingServer(engine, capacity=1)
+        srv.submit(1.0)
+        srv.submit(2.0)
+        engine.run()
+        assert srv.busy_time == pytest.approx(3.0)

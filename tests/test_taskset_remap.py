@@ -1,0 +1,99 @@
+"""Unit tests for the front-end rank remap step (Section V-B/C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.taskset import (
+    DaemonLayout,
+    DenseBitVector,
+    HierarchicalTaskSet,
+    RankRemapper,
+    TaskMap,
+)
+
+
+def _root_label(task_map: TaskMap, slots_per_daemon) -> HierarchicalTaskSet:
+    """Concatenate per-daemon labels in daemon order."""
+    parts = [
+        HierarchicalTaskSet.for_daemon(d, task_map.tasks_of(d),
+                                       slots_per_daemon(d))
+        for d in sorted(task_map.daemons())
+    ]
+    return HierarchicalTaskSet.concat(parts)
+
+
+class TestRankRemapper:
+    def test_figure6_example(self):
+        """Daemon 0 owns ranks {0,2}, daemon 1 owns {1,3} (Figure 6)."""
+        tm = TaskMap.cyclic(2, 2)
+        label = _root_label(tm, lambda d: [0, 1] if d == 0 else [1])
+        dense = RankRemapper(label.layout, tm).remap(label)
+        assert dense.to_ranks().tolist() == [0, 2, 3]
+
+    def test_block_map_remap_is_identity_permutation(self):
+        tm = TaskMap.block(4, 8)
+        label = _root_label(tm, lambda d: range(8))
+        dense = RankRemapper(label.layout, tm).remap(label)
+        assert dense.to_ranks().tolist() == list(range(32))
+
+    def test_shuffled_map_roundtrip(self, rng):
+        tm = TaskMap.shuffled(8, 16, rng)
+        wanted = {int(r) for r in rng.choice(128, size=40, replace=False)}
+        def slots(d):
+            ranks = tm.ranks_of(d)
+            return [i for i, r in enumerate(ranks) if int(r) in wanted]
+        label = _root_label(tm, slots)
+        dense = RankRemapper(label.layout, tm).remap(label)
+        assert set(dense.to_ranks().tolist()) == wanted
+
+    def test_remap_preserves_count(self, rng):
+        tm = TaskMap.cyclic(4, 32)
+        label = _root_label(tm, lambda d: range(0, 32, 2))
+        dense = RankRemapper(label.layout, tm).remap(label)
+        assert dense.count() == label.count() == 4 * 16
+
+    def test_remap_agrees_with_to_global_ranks(self, rng):
+        tm = TaskMap.shuffled(4, 8, rng)
+        label = _root_label(tm, lambda d: [d % 8, (d + 3) % 8])
+        dense = RankRemapper(label.layout, tm).remap(label)
+        assert dense.to_ranks().tolist() == \
+            label.to_global_ranks(tm).tolist()
+
+    def test_layout_task_map_width_mismatch(self):
+        tm = TaskMap.block(2, 4)
+        bad_layout = DaemonLayout((0, 1), (4, 5))
+        with pytest.raises(ValueError, match="width"):
+            RankRemapper(bad_layout, tm)
+
+    def test_label_layout_mismatch_rejected(self):
+        tm = TaskMap.block(2, 4)
+        layout = DaemonLayout.from_task_map(tm)
+        remapper = RankRemapper(layout, tm)
+        other = HierarchicalTaskSet.for_daemon(0, 4, [0])
+        with pytest.raises(ValueError, match="layout"):
+            remapper.remap(other)
+
+    def test_remap_many(self):
+        tm = TaskMap.cyclic(2, 4)
+        layout = DaemonLayout.from_task_map(tm)
+        labels = [HierarchicalTaskSet.full(layout),
+                  HierarchicalTaskSet.empty(layout)]
+        out = RankRemapper(layout, tm).remap_many(labels)
+        assert out[0].count() == 8 and out[1].count() == 0
+
+    def test_remap_result_is_dense_full_width(self):
+        """Only the front end ever holds a job-width vector."""
+        tm = TaskMap.cyclic(2, 4)
+        layout = DaemonLayout.from_task_map(tm)
+        dense = RankRemapper(layout, tm).remap(
+            HierarchicalTaskSet.empty(layout))
+        assert isinstance(dense, DenseBitVector)
+        assert dense.serialized_bits() == tm.total_tasks
+
+    def test_full_machine_scale_roundtrip(self):
+        """208K-task remap stays exact (and quick) at full width."""
+        tm = TaskMap.cyclic(1664, 128)
+        layout = DaemonLayout.from_task_map(tm)
+        label = HierarchicalTaskSet.full(layout)
+        dense = RankRemapper(layout, tm).remap(label)
+        assert dense.count() == 212_992

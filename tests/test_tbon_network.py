@@ -1,0 +1,166 @@
+"""Unit tests for the timed TBO̅N reduction and broadcast."""
+
+import pytest
+
+from repro.machine.atlas import AtlasMachine
+from repro.machine.bgl import BGLMachine
+from repro.tbon.network import FilterCostModel, TBONetwork, TBONOverflowError
+from repro.tbon.topology import Topology
+
+
+def sum_reduce(machine, topology, leaf_values, nbytes_per_leaf=100,
+               **net_kwargs):
+    """Reduce integer payloads by summation; payload size is constant."""
+    net = TBONetwork(topology, machine, **net_kwargs)
+    return net.reduce(
+        leaf_payload_fn=lambda d: leaf_values[d],
+        merge_fn=lambda payloads: sum(payloads),
+        payload_nbytes=lambda p: nbytes_per_leaf,
+    )
+
+
+class TestReduceCorrectness:
+    def test_flat_sum(self, atlas_small):
+        topo = Topology.flat(16)
+        res = sum_reduce(atlas_small, topo, list(range(16)))
+        assert res.payload == sum(range(16))
+
+    def test_deep_sum_equals_flat_sum(self, atlas_small):
+        values = list(range(16))
+        flat = sum_reduce(atlas_small, Topology.flat(16), values)
+        deep = sum_reduce(atlas_small, Topology.balanced(16, 2), values)
+        assert flat.payload == deep.payload
+
+    def test_leaf_payloads_lazy_and_once(self, atlas_small):
+        calls = []
+        net = TBONetwork(Topology.balanced(16, 2), atlas_small)
+        net.reduce(lambda d: calls.append(d) or d,
+                   lambda ps: sum(ps), lambda p: 10)
+        assert sorted(calls) == list(range(16))
+
+    def test_message_count(self, atlas_small):
+        topo = Topology.balanced(16, 2)
+        res = sum_reduce(atlas_small, topo, list(range(16)))
+        # one message per non-root node
+        assert res.messages == 16 + len(topo.comm_processes)
+
+    def test_bytes_accounting(self, atlas_small):
+        res = sum_reduce(atlas_small, Topology.flat(8), [1] * 8,
+                         nbytes_per_leaf=1000)
+        assert res.bytes_total == 8000
+        assert res.max_node_ingress_bytes == 8000
+
+
+class TestReduceTiming:
+    def test_flat_ingress_serializes(self, atlas_small):
+        """N children at one NIC -> ~N transfer times (the linear term)."""
+        small = sum_reduce(atlas_small, Topology.flat(4), [0] * 4,
+                           nbytes_per_leaf=300_000)
+        big = sum_reduce(atlas_small, Topology.flat(16), [0] * 16,
+                         nbytes_per_leaf=300_000)
+        assert big.sim_time > small.sim_time * 2.5
+
+    def test_tree_beats_flat_at_scale(self):
+        machine = AtlasMachine.with_nodes(256)
+        values = [0] * 256
+        flat = sum_reduce(machine, Topology.flat(256), values,
+                          nbytes_per_leaf=50_000)
+        deep = sum_reduce(machine, Topology.balanced(256, 2), values,
+                          nbytes_per_leaf=50_000)
+        assert deep.sim_time < flat.sim_time
+
+    def test_leaf_ready_time_delays_completion(self, atlas_small):
+        topo = Topology.flat(4)
+        net = TBONetwork(topo, atlas_small)
+        res = net.reduce(lambda d: d, lambda ps: sum(ps), lambda p: 10,
+                         leaf_ready_time=lambda d: 5.0 if d == 3 else 0.0)
+        assert res.sim_time > 5.0
+
+    def test_filter_cost_scales_with_children(self, atlas_small):
+        cheap = FilterCostModel(per_message=0.0)
+        costly = FilterCostModel(per_message=0.1)
+        topo = Topology.flat(8)
+        t_cheap = sum_reduce(atlas_small, topo, [0] * 8,
+                             filter_cost=cheap).sim_time
+        t_costly = sum_reduce(atlas_small, topo, [0] * 8,
+                              filter_cost=costly).sim_time
+        assert t_costly - t_cheap == pytest.approx(0.8, rel=0.05)
+
+    def test_login_node_sharing_dilates_filters(self):
+        """BG/L CPs share 14 login nodes; Atlas CPs are dedicated."""
+        bgl = BGLMachine.with_io_nodes(1024, "co")
+        topo = Topology.bgl_two_deep(1024)   # 28 CPs on 14 x 2-core hosts
+        net = TBONetwork(topo, bgl)
+        slow = [net._slowdown(cp) for cp in net.topology.comm_processes]
+        assert all(s == 1.0 for s in slow)   # 28 CPs on 28 cores: exactly fits
+        topo_big = Topology.two_deep(1024, 56)
+        net_big = TBONetwork(topo_big, bgl)
+        slow_big = [net_big._slowdown(cp)
+                    for cp in net_big.topology.comm_processes]
+        assert max(slow_big) == 2.0          # 56 CPs / 28 cores
+
+    def test_deterministic(self, atlas_small):
+        a = sum_reduce(atlas_small, Topology.balanced(16, 2),
+                       list(range(16)))
+        b = sum_reduce(atlas_small, Topology.balanced(16, 2),
+                       list(range(16)))
+        assert a.sim_time == b.sim_time
+
+
+class TestFailureModes:
+    def test_max_children_overflow(self, atlas_small):
+        with pytest.raises(TBONOverflowError, match="children"):
+            sum_reduce(atlas_small, Topology.flat(16), [0] * 16,
+                       max_children=8)
+
+    def test_bgl_machine_default_limit(self):
+        """The flat topology fails at 256 I/O nodes on BG/L (Section V-A)."""
+        bgl = BGLMachine.with_io_nodes(256, "co")
+        with pytest.raises(TBONOverflowError):
+            sum_reduce(bgl, Topology.flat(256), [0] * 256)
+
+    def test_bgl_two_deep_is_fine(self):
+        bgl = BGLMachine.with_io_nodes(256, "co")
+        res = sum_reduce(bgl, Topology.bgl_two_deep(256), [0] * 256)
+        assert res.payload == 0
+
+    def test_atlas_flat_512_is_fine(self):
+        """Atlas merged flat at 512 daemons (Figure 4)."""
+        machine = AtlasMachine.with_nodes(512)
+        res = sum_reduce(machine, Topology.flat(512), [0] * 512)
+        assert res.sim_time > 0
+
+    def test_ingress_bytes_overflow(self, atlas_small):
+        with pytest.raises(TBONOverflowError, match="buffered"):
+            sum_reduce(atlas_small, Topology.flat(16), [0] * 16,
+                       nbytes_per_leaf=1_000_000, max_ingress_bytes=10_000_000)
+
+
+class TestBroadcast:
+    def test_zero_byte_broadcast(self, atlas_small):
+        net = TBONetwork(Topology.flat(4), atlas_small)
+        res = net.broadcast(0)
+        assert res.messages == 4
+
+    def test_negative_rejected(self, atlas_small):
+        net = TBONetwork(Topology.flat(4), atlas_small)
+        with pytest.raises(ValueError):
+            net.broadcast(-1)
+
+    def test_tree_broadcast_faster_than_flat(self):
+        machine = AtlasMachine.with_nodes(256)
+        flat = TBONetwork(Topology.flat(256), machine).broadcast(1_000_000)
+        tree = TBONetwork(Topology.balanced(256, 2),
+                          machine).broadcast(1_000_000)
+        assert tree.sim_time < flat.sim_time
+
+    def test_message_count_covers_every_edge(self, atlas_small):
+        topo = Topology.balanced(16, 2)
+        res = TBONetwork(topo, atlas_small).broadcast(100)
+        assert res.messages == 16 + len(topo.comm_processes)
+
+    def test_start_time_offsets(self, atlas_small):
+        net = TBONetwork(Topology.flat(4), atlas_small)
+        a = net.broadcast(100, start_time=0.0)
+        b = net.broadcast(100, start_time=10.0)
+        assert b.sim_time == pytest.approx(a.sim_time + 10.0)

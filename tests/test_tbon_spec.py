@@ -1,0 +1,115 @@
+"""Tests for topology shape strings and the MRNet file format."""
+
+import pytest
+
+from repro.tbon.spec import SpecError, from_topology_file, parse_shape, \
+    to_topology_file
+from repro.tbon.topology import Topology
+
+
+class TestParseShape:
+    def test_flat(self):
+        topo = parse_shape("flat", 16)
+        assert topo.depth == 1 and topo.num_daemons == 16
+
+    def test_balanced(self):
+        topo = parse_shape("balanced:2", 256)
+        assert topo.depth == 2
+        assert len(topo.comm_processes) > 0
+
+    def test_bgl_rules(self):
+        assert len(parse_shape("bgl-2deep", 1664).comm_processes) == 28
+        assert parse_shape("bgl-3deep", 1664).depth == 3
+
+    def test_explicit_fanouts(self):
+        topo = parse_shape("8x8", 512)
+        topo.validate()
+        assert topo.depth == 3                      # 2 CP levels + daemons
+        assert len(topo.root.children) == 8
+        assert len(topo.comm_processes) == 8 + 64
+        assert topo.num_daemons == 512
+
+    def test_single_level_fanout(self):
+        topo = parse_shape("28", 1664)
+        assert len(topo.comm_processes) == 28
+
+    def test_uneven_split_balanced_within_one(self):
+        topo = parse_shape("4", 10)
+        sizes = [len(cp.children) for cp in topo.comm_processes]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_bottom_cps(self):
+        with pytest.raises(SpecError, match="bottom CPs"):
+            parse_shape("64x64", 100)
+
+    def test_unknown_shape(self):
+        with pytest.raises(SpecError):
+            parse_shape("pyramid", 16)
+
+    def test_case_and_whitespace(self):
+        assert parse_shape("  FLAT ", 4).depth == 1
+
+
+class TestTopologyFile:
+    def test_serialize_mentions_all_roles(self):
+        text = to_topology_file(Topology.bgl_two_deep(16))
+        assert "fe:0 =>" in text
+        assert "cp:" in text and "be:" in text
+        assert text.count(";") == 1 + 4  # root line + one per CP
+
+    def test_roundtrip_preserves_structure(self):
+        original = Topology.bgl_two_deep(64)
+        clone = from_topology_file(to_topology_file(original))
+        assert clone.num_daemons == original.num_daemons
+        assert clone.depth == original.depth
+        assert len(clone.comm_processes) == len(original.comm_processes)
+
+    def test_roundtrip_flat(self):
+        clone = from_topology_file(to_topology_file(Topology.flat(8)))
+        assert clone.depth == 1 and clone.num_daemons == 8
+
+    def test_parse_simple_file(self):
+        text = """
+        # front end fans out to two CPs
+        fe:0 => cp:0 cp:1 ;
+        cp:0 => be:0 be:1 ;
+        cp:1 => be:2 be:3 ;
+        """
+        topo = from_topology_file(text)
+        assert topo.num_daemons == 4
+        assert topo.depth == 2
+
+    def test_two_parents_rejected(self):
+        text = "fe:0 => cp:0 cp:1 ;\ncp:0 => be:0 ;\ncp:1 => be:0 ;"
+        with pytest.raises(SpecError, match="two parents"):
+            from_topology_file(text)
+
+    def test_multiple_roots_rejected(self):
+        text = "fe:0 => be:0 ;\ncp:9 => be:1 ;"
+        with pytest.raises(SpecError, match="one root"):
+            from_topology_file(text)
+
+    def test_daemon_with_children_rejected(self):
+        text = "fe:0 => be:0 ;\nbe:0 => be:1 ;"
+        with pytest.raises(SpecError, match="cannot have children"):
+            from_topology_file(text)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SpecError, match="expected"):
+            from_topology_file("fe:0 -> be:0 ;")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown node kind"):
+            from_topology_file("fe:0 => xx:0 ;")
+
+    def test_no_daemons_rejected(self):
+        with pytest.raises(SpecError):
+            from_topology_file("fe:0 => cp:0 ;")
+
+    def test_parsed_topology_usable_by_network(self, atlas_small):
+        from repro.tbon.network import TBONetwork
+        topo = from_topology_file(to_topology_file(
+            Topology.balanced(16, 2)))
+        net = TBONetwork(topo, atlas_small)
+        res = net.reduce(lambda d: 1, lambda ps: sum(ps), lambda p: 8)
+        assert res.payload == 16
