@@ -17,13 +17,28 @@ Quickstart::
     fe = STATFrontEnd(machine)
     result = fe.run(RingApp.with_hang(machine.total_tasks))
     for cls in result.classes:
-        print(cls.describe())
+        print(cls.label())
+
+Sessions are also declarative: a :class:`repro.SessionSpec` captures the
+whole configuration as a JSON-round-trippable value, and a
+:class:`repro.ScenarioSuite` runs many of them concurrently::
+
+    from repro import ScenarioSuite, SessionSpec
+
+    specs = [SessionSpec(machine="bgl", daemons=d) for d in (8, 16, 32)]
+    report = ScenarioSuite(specs).run()
+    print(report.table())
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 figure-by-figure reproduction record.
 """
 
+from repro.api.pipeline import SessionPipeline
+from repro.api.spec import SessionSpec
+from repro.api.suite import ScenarioSuite
+from repro.apps.ring import RingApp
 from repro.core.equivalence import EquivalenceClass, equivalence_classes
+from repro.core.frontend import STATFrontEnd, STATResult
 from repro.core.frames import Frame, StackTrace
 from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
 from repro.core.prefix_tree import PrefixTree
@@ -39,6 +54,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "SessionSpec",
+    "SessionPipeline",
+    "ScenarioSuite",
+    "STATFrontEnd",
+    "STATResult",
+    "RingApp",
     "Frame",
     "StackTrace",
     "PrefixTree",

@@ -1,0 +1,207 @@
+"""Batch scenario execution: many declarative sessions, one invocation.
+
+:class:`ScenarioSuite` takes a list of :class:`~repro.api.spec.SessionSpec`
+and runs each one through the session pipeline — concurrently via
+``concurrent.futures.ProcessPoolExecutor`` (specs are independent
+simulations, so they parallelize embarrassingly well), or inline when
+``max_workers=1``/``parallel=False``.  Each spec yields a
+:class:`ScenarioOutcome` carrying the full
+:class:`~repro.core.frontend.STATResult` (for full sessions), the phase
+timings, and any failure; :class:`SuiteReport` renders the side-by-side
+comparison table.
+
+This is how the figure sweeps batch dozens of failure configurations
+(cf. the paper's STATBench methodology) without bespoke per-figure loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.spec import SessionSpec
+from repro.core.frontend import STATResult
+from repro.launch.base import LaunchResult
+
+__all__ = ["ScenarioOutcome", "SuiteReport", "ScenarioSuite", "execute_spec"]
+
+#: Column order for timing keys in the comparison table.
+_TIMING_ORDER = ("launch", "map_gather", "sbrs", "sample", "merge", "remap")
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one spec produced."""
+
+    spec: SessionSpec
+    #: full-session result; ``None`` for partial (``stop_after``) or
+    #: failed sessions
+    result: Optional[STATResult] = None
+    #: simulated seconds per executed phase (also set for partial runs)
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: launch product, kept for launch-only sweeps (startup figures).
+    #: Its ``process_table`` is stripped to keep pool IPC small — the
+    #: full table travels (only) inside ``result.launch`` when needed.
+    launch: Optional[LaunchResult] = None
+    #: ``repr``-style failure message; ``None`` on success
+    error: Optional[str] = None
+    #: full traceback of the failure, for debugging suite runs
+    traceback: Optional[str] = None
+    #: real seconds this scenario took to simulate
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the session ran to its requested end."""
+        return self.error is None
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        """Total simulated seconds, or ``None`` for failed sessions."""
+        if self.error is not None:
+            return None
+        return sum(self.timings.values())
+
+    @property
+    def name(self) -> str:
+        """Display label (the spec's)."""
+        return self.spec.label
+
+
+@dataclass
+class SuiteReport:
+    """All outcomes of one suite run, plus the comparison table."""
+
+    outcomes: List[ScenarioOutcome]
+    wall_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def results(self) -> List[Optional[STATResult]]:
+        """Per-spec results, in submission order (``None`` where failed)."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        """Outcomes whose sessions failed."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def timing_columns(self) -> List[str]:
+        """Phase-timing keys present in any outcome, canonical order."""
+        present = {k for o in self.outcomes for k in o.timings}
+        cols = [k for k in _TIMING_ORDER if k in present]
+        cols += sorted(present - set(cols))
+        return cols
+
+    def table(self) -> str:
+        """The printable side-by-side comparison."""
+        cols = self.timing_columns()
+        header = (f"{'scenario':<28} {'tasks':>8} "
+                  + " ".join(f"{c:>10}" for c in cols)
+                  + f" {'total':>10} {'classes':>7}")
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            try:
+                machine_tasks = str(o.spec.build_machine().total_tasks)
+            except Exception:  # unbuildable spec: show daemons instead
+                machine_tasks = f"{o.spec.daemons}d"
+            if o.error is not None:
+                lines.append(f"{o.name:<28} {machine_tasks:>8} "
+                             f"FAILED: {o.error[:60]}")
+                continue
+            cells = " ".join(
+                f"{o.timings[c]:>10.3f}" if c in o.timings else f"{'-':>10}"
+                for c in cols)
+            classes = (str(len(o.result.classes))
+                       if o.result is not None else "-")
+            lines.append(f"{o.name:<28} {machine_tasks:>8} {cells} "
+                         f"{o.total_seconds:>10.3f} {classes:>7}")
+        lines.append(f"({len(self.outcomes)} scenarios in "
+                     f"{self.wall_seconds:.1f} wall s)")
+        return "\n".join(lines)
+
+
+def execute_spec(spec: SessionSpec) -> ScenarioOutcome:
+    """Run one spec to its requested end; never raises."""
+    started = time.perf_counter()
+    outcome = ScenarioOutcome(spec=spec)
+    try:
+        ctx = spec.run()
+        outcome.timings = dict(ctx.timings)
+        if ctx.launch is not None:
+            # Strip the per-task process table (megabytes at full-machine
+            # scale) before the outcome crosses the process pool.
+            outcome.launch = dataclasses.replace(ctx.launch,
+                                                 process_table=None)
+        outcome.result = ctx.result
+    except Exception as err:  # noqa: BLE001 - per-spec isolation
+        outcome.error = f"{type(err).__name__}: {err}"
+        outcome.traceback = traceback.format_exc()
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _execute_spec_dict(spec_dict: Dict) -> ScenarioOutcome:
+    """Pool-worker entry point: specs travel as plain dicts."""
+    return execute_spec(SessionSpec.from_dict(spec_dict))
+
+
+class ScenarioSuite:
+    """A batch of declarative sessions executed with one call."""
+
+    def __init__(self, specs: Sequence[SessionSpec]) -> None:
+        if not specs:
+            raise ValueError("ScenarioSuite needs at least one spec")
+        self.specs: List[SessionSpec] = list(specs)
+
+    @classmethod
+    def from_files(cls, paths: Sequence) -> "ScenarioSuite":
+        """Load one spec per JSON file."""
+        return cls([SessionSpec.load(p) for p in paths])
+
+    def run(self, max_workers: Optional[int] = None,
+            parallel: bool = True) -> SuiteReport:
+        """Execute every spec; outcomes come back in submission order.
+
+        ``max_workers=None`` sizes the process pool to
+        ``min(len(specs), cpu_count)``; ``parallel=False`` (or a single
+        worker) runs inline — required when observers must see the run,
+        and a safe fallback where subprocesses are unavailable.
+        """
+        started = time.perf_counter()
+        workers = max_workers or min(len(self.specs),
+                                     os.cpu_count() or 1)
+        if not parallel or workers <= 1 or len(self.specs) == 1:
+            outcomes = [execute_spec(spec) for spec in self.specs]
+        else:
+            outcomes = self._run_pool(workers)
+        return SuiteReport(outcomes=outcomes,
+                           wall_seconds=time.perf_counter() - started)
+
+    def _run_pool(self, workers: int) -> List[ScenarioOutcome]:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_execute_spec_dict, s.to_dict())
+                           for s in self.specs]
+                outcomes = []
+                for spec, future in zip(self.specs, futures):
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as err:  # worker died / unpicklable
+                        outcomes.append(ScenarioOutcome(
+                            spec=spec,
+                            error=f"{type(err).__name__}: {err}"))
+                return outcomes
+        except (OSError, PermissionError):
+            # No subprocess support (restricted sandbox): degrade to inline.
+            return [execute_spec(spec) for spec in self.specs]

@@ -1,0 +1,102 @@
+"""Workload registry: string ids -> rank-state providers.
+
+A :class:`~repro.api.spec.SessionSpec` is a *declarative* description, so
+the synthetic population a session debugs must be nameable by a string
+that survives a JSON round trip.  This module maps those ids onto the
+:mod:`repro.statbench` generators:
+
+* ``"ring_hang"`` / ``"ring_hang:<rank>"`` — the Figure 1 population
+  (task ``<rank>`` stalls before its send; default rank 1);
+* ``"uniform:<classes>"`` / ``"uniform:<classes>:<seed>"`` — a seeded
+  k-class mix (seed defaults to the session seed);
+* ``"distinct"`` — the worst case: every rank in its own user function.
+
+Extend with :func:`register_workload`; application objects such as
+:class:`repro.apps.ring.RingApp` expose a ``workload_id`` so live runs and
+declarative specs stay interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.statbench.generator import (
+    StateProvider,
+    distinct_leaf_states,
+    ring_hang_states,
+    uniform_class_states,
+)
+
+__all__ = ["WorkloadError", "register_workload", "resolve_workload",
+           "known_workloads"]
+
+#: ``factory(args, total_tasks, seed) -> StateProvider`` where ``args`` is
+#: the list of ``:``-separated tokens after the workload name.
+WorkloadFactory = Callable[[list, int, int], StateProvider]
+
+_REGISTRY: Dict[str, WorkloadFactory] = {}
+
+
+class WorkloadError(ValueError):
+    """Unknown or malformed workload id."""
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register ``factory`` under ``name`` (the id's first token).
+
+    The factory receives the remaining ``:``-separated tokens, the
+    machine's total task count, and the session seed.
+    """
+    if not name or ":" in name:
+        raise WorkloadError(f"workload name must be token without ':': "
+                            f"{name!r}")
+    _REGISTRY[name] = factory
+
+
+def resolve_workload(workload_id: str, total_tasks: int,
+                     seed: int = 0) -> StateProvider:
+    """Build the ``state_of(rank)`` callable for ``workload_id``."""
+    name, *args = str(workload_id).split(":")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}")
+    try:
+        return factory(args, total_tasks, seed)
+    except WorkloadError:
+        raise
+    except (TypeError, ValueError) as err:
+        raise WorkloadError(f"bad workload id {workload_id!r}: {err}") from err
+
+
+def known_workloads() -> list:
+    """Registered workload names (first tokens), sorted."""
+    return sorted(_REGISTRY)
+
+
+# -- built-ins ---------------------------------------------------------------
+
+def _ring_hang(args: list, total_tasks: int, seed: int) -> StateProvider:
+    if len(args) > 1:
+        raise WorkloadError("ring_hang takes at most one arg (hang rank)")
+    hang_rank = int(args[0]) if args else 1
+    return ring_hang_states(total_tasks, hang_rank=hang_rank)
+
+
+def _uniform(args: list, total_tasks: int, seed: int) -> StateProvider:
+    if not 1 <= len(args) <= 2:
+        raise WorkloadError("uniform needs 'uniform:<classes>[:<seed>]'")
+    num_classes = int(args[0])
+    gen_seed = int(args[1]) if len(args) == 2 else seed
+    return uniform_class_states(total_tasks, num_classes, seed=gen_seed)
+
+
+def _distinct(args: list, total_tasks: int, seed: int) -> StateProvider:
+    if args:
+        raise WorkloadError("distinct takes no args")
+    return distinct_leaf_states(total_tasks)
+
+
+register_workload("ring_hang", _ring_hang)
+register_workload("uniform", _uniform)
+register_workload("distinct", _distinct)

@@ -22,11 +22,12 @@ from repro.apps.bugs import (
     LostMessage,
 )
 from repro.apps.master_worker import master_worker_program
-from repro.apps.ring import ring_program
+from repro.apps.ring import RingApp, ring_program
 from repro.apps.solver import solver_program
 from repro.apps.stencil import stencil_program
 
 __all__ = [
+    "RingApp",
     "ring_program",
     "stencil_program",
     "master_worker_program",

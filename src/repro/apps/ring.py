@@ -14,12 +14,13 @@ it falls out of the message-matching semantics in
 
 from __future__ import annotations
 
-from typing import Generator
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
 
-from repro.apps.bugs import BugSpec, HangBeforeSend
-from repro.mpi.runtime import RankContext
+from repro.apps.bugs import BugSpec, HangBeforeSend, NO_BUG
+from repro.mpi.runtime import RankContext, RankState
 
-__all__ = ["ring_program"]
+__all__ = ["ring_program", "RingApp"]
 
 
 def ring_program(bug: BugSpec = HangBeforeSend(rank=1),
@@ -44,3 +45,72 @@ def ring_program(bug: BugSpec = HangBeforeSend(rank=1),
         yield from ctx.barrier()
 
     return program
+
+
+@dataclass(frozen=True)
+class RingApp:
+    """The ring test as a declarable workload object.
+
+    The high-level handle the quickstart advertises::
+
+        machine = BGLMachine.with_io_nodes(16, mode="co")
+        fe = STATFrontEnd(machine)
+        result = fe.run(RingApp.with_hang(machine.total_tasks))
+
+    A ``RingApp`` knows three things: the live per-rank program
+    (:meth:`program`, for :meth:`~repro.core.frontend.STATFrontEnd.
+    debug_hung_application`), the equivalent synthetic rank-state
+    population (:meth:`state_provider`, what :meth:`~repro.core.frontend.
+    STATFrontEnd.run` samples), and its declarative workload id
+    (:attr:`workload_id`, what a :class:`~repro.api.spec.SessionSpec`
+    stores).
+    """
+
+    total_tasks: int
+    #: rank that stalls before its send; ``None`` = healthy control run
+    hang_rank: Optional[int] = 1
+    compute_seconds: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.total_tasks < 3:
+            raise ValueError("the ring test needs at least 3 tasks")
+        if self.hang_rank is not None and \
+                not 0 <= self.hang_rank < self.total_tasks:
+            raise ValueError(f"hang_rank out of range: {self.hang_rank}")
+
+    @classmethod
+    def with_hang(cls, total_tasks: int, hang_rank: int = 1) -> "RingApp":
+        """The paper's scenario: ``hang_rank`` stalls before its send."""
+        return cls(total_tasks=total_tasks, hang_rank=hang_rank)
+
+    @classmethod
+    def healthy(cls, total_tasks: int) -> "RingApp":
+        """The control run — every rank completes, nothing to debug."""
+        return cls(total_tasks=total_tasks, hang_rank=None)
+
+    @property
+    def hung(self) -> bool:
+        """True when a bug is injected."""
+        return self.hang_rank is not None
+
+    @property
+    def workload_id(self) -> str:
+        """The :mod:`repro.api.workloads` id of this population."""
+        if not self.hung:
+            raise ValueError("a healthy run has no hung-state workload id")
+        return f"ring_hang:{self.hang_rank}"
+
+    def program(self):
+        """The per-rank generator program (live MPI-runtime execution)."""
+        bug: BugSpec = (HangBeforeSend(rank=self.hang_rank)
+                        if self.hung else NO_BUG)
+        return ring_program(bug=bug, compute_seconds=self.compute_seconds)
+
+    def state_provider(self) -> Callable[[int], RankState]:
+        """The synthetic Figure 1 population (``state_of(rank)``)."""
+        if not self.hung:
+            raise ValueError(
+                "a healthy ring run completes; there are no hung states "
+                "to sample (use program() with debug_hung_application)")
+        from repro.statbench.generator import ring_hang_states
+        return ring_hang_states(self.total_tasks, hang_rank=self.hang_rank)

@@ -6,6 +6,12 @@ Commands
     Run the paper's headline scenario end to end (ring test, injected
     hang, full STAT session) and print the phase timings, the 3D prefix
     tree, and the equivalence classes.
+``run --spec FILE``
+    Run one declarative :class:`~repro.api.spec.SessionSpec` JSON file
+    through the session pipeline.
+``sweep FILE [FILE ...]``
+    Run many spec files concurrently (optionally expanded with
+    ``--vary key=v1,v2,...``) and print the comparison table.
 ``figure <id>``
     Regenerate one paper figure's series and print the rows
     (``fig1`` .. ``fig10``, ``claims``, ``ablation-*``).
@@ -47,6 +53,33 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--save", metavar="DIR", default=None,
                       help="persist the session to DIR")
     demo.add_argument("--seed", type=int, default=208_000)
+
+    run_p = sub.add_parser(
+        "run", help="run one declarative session spec (JSON file)")
+    run_p.add_argument("--spec", required=True, metavar="FILE",
+                       help="SessionSpec JSON file")
+    run_p.add_argument("--save", metavar="DIR", default=None,
+                       help="persist the session (spec included) to DIR")
+    run_p.add_argument("--tree", action="store_true",
+                       help="also print the 3D prefix tree")
+    run_p.add_argument("--progress", action="store_true",
+                       help="print each pipeline phase as it runs")
+
+    sweep = sub.add_parser(
+        "sweep", help="run many session specs concurrently")
+    sweep.add_argument("specs", nargs="+", metavar="FILE",
+                       help="SessionSpec JSON files")
+    sweep.add_argument("--vary", action="append", default=[],
+                       metavar="KEY=V1,V2,...",
+                       help="expand each spec over these field values "
+                            "(repeatable; cross-product)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: one per spec, "
+                            "capped at the CPU count)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="run inline instead of a process pool")
+    sweep.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the comparison table here")
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("id", choices=sorted(REGISTRY))
@@ -105,9 +138,119 @@ def _run_demo(args: argparse.Namespace) -> int:
     reps = [c.representative for c in result.classes]
     print(f"attach a heavyweight debugger to ranks: {reps}")
     if args.save:
-        out = save_session(result, args.save, machine_name=machine.name)
+        from repro.api.spec import SessionSpec
+        spec = SessionSpec(
+            machine=args.machine, daemons=args.daemons, mode=args.mode,
+            topology=args.topology, num_samples=args.samples,
+            use_sbrs=args.sbrs, seed=args.seed)
+        out = save_session(result, args.save, machine_name=machine.name,
+                           spec=spec)
         print(f"session saved to {out}")
     return 0
+
+
+def _load_spec(path: str):
+    """Read one spec file; clean ``SystemExit`` on any user error."""
+    from repro.api.spec import SessionSpec, SpecValidationError
+
+    try:
+        return SessionSpec.load(path)
+    except OSError as err:
+        raise SystemExit(f"cannot read spec {path!r}: {err}")
+    except SpecValidationError as err:
+        raise SystemExit(f"invalid spec {path!r}: {err}")
+
+
+def _run_spec(args: argparse.Namespace) -> int:
+    from repro.api.pipeline import ProgressObserver
+    from repro.api.workloads import WorkloadError
+    from repro.core.session import save_session
+    from repro.core.visualize import to_ascii
+
+    spec = _load_spec(args.spec)
+    try:
+        machine = spec.build_machine()
+    except (ValueError, TypeError) as err:
+        raise SystemExit(f"spec {args.spec!r} names an unbuildable "
+                         f"machine: {err}")
+    print(f"# {machine.describe()}")
+    observers = (ProgressObserver(),) if args.progress else ()
+    try:
+        ctx = spec.run(observers=observers)
+    except WorkloadError as err:
+        raise SystemExit(f"invalid spec {args.spec!r}: {err}")
+    if ctx.result is None:  # partial session (stop_after)
+        print(f"ran phases up to {spec.stop_after!r}:")
+        for name, seconds in ctx.timings.items():
+            print(f"  {name:<12} {seconds:10.3f} s")
+        if args.save:
+            print(f"nothing to save: the session stopped after "
+                  f"{spec.stop_after!r}, before the trees were built")
+        return 0
+    print(ctx.result.summary())
+    if args.tree:
+        print()
+        print(to_ascii(ctx.result.tree_3d.truncated_at_depth(6)))
+    if args.save:
+        out = save_session(ctx.result, args.save,
+                           machine_name=machine.name, spec=spec)
+        print(f"session saved to {out}")
+    return 0
+
+
+def _parse_vary(items) -> dict:
+    """``["daemons=4,8", "mode=co,vn"]`` -> ``{"daemons": [4, 8], ...}``."""
+    import json as _json
+
+    varied = {}
+    for item in items:
+        key, sep, values = item.partition("=")
+        if not sep or not values:
+            raise SystemExit(f"--vary needs KEY=V1,V2,... (got {item!r})")
+
+        def parse(token: str):
+            try:
+                return _json.loads(token)
+            except _json.JSONDecodeError:
+                return token
+
+        varied[key.strip()] = [parse(v) for v in values.split(",")]
+    return varied
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    import itertools
+
+    from repro.api.spec import SpecValidationError
+    from repro.api.suite import ScenarioSuite
+
+    base_specs = [_load_spec(path) for path in args.specs]
+    varied = _parse_vary(args.vary)
+    if varied:
+        expanded = []
+        keys = sorted(varied)
+        for spec in base_specs:
+            for combo in itertools.product(*(varied[k] for k in keys)):
+                changes = dict(zip(keys, combo))
+                suffix = ",".join(f"{k}={v}" for k, v in changes.items())
+                try:
+                    expanded.append(spec.replace(
+                        name=f"{spec.label}[{suffix}]", **changes))
+                except (SpecValidationError, TypeError) as err:
+                    raise SystemExit(f"bad --vary combination {suffix}: "
+                                     f"{err}")
+        specs = expanded
+    else:
+        specs = base_specs
+    report = ScenarioSuite(specs).run(max_workers=args.workers,
+                                      parallel=not args.serial)
+    table = report.table()
+    print(table)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(table + "\n")
+        print(f"table written to {args.out}")
+    return 1 if report.failures else 0
 
 
 def _run_inspect(args: argparse.Namespace) -> int:
@@ -172,6 +315,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "demo":
             return _run_demo(args)
+        if args.command == "run":
+            return _run_spec(args)
+        if args.command == "sweep":
+            return _run_sweep(args)
         if args.command == "figure":
             return _run_figure(args)
         if args.command == "reproduce-all":

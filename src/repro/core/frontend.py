@@ -8,30 +8,30 @@ separately — "the launch time of the daemons; the daemons' local gathering
 and aggregation of stack traces; and the aggregation of locally-merged
 results to the final call graph prefix tree at the front end"
 (Section III) — plus the Section V-C remap step.
+
+Since the API redesign the actual phase execution lives in
+:mod:`repro.api.pipeline`; :class:`STATFrontEnd` remains the stable,
+backwards-compatible entry point (``attach_and_analyze`` drives the same
+six phases and returns identical timings), and gains the advertised
+high-level :meth:`STATFrontEnd.run` that accepts application workload
+objects such as :class:`repro.apps.ring.RingApp`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.equivalence import EquivalenceClass, triage_classes
+from repro.core.equivalence import EquivalenceClass
 from repro.core.merge import (
     DenseLabelScheme,
     HierarchicalLabelScheme,
     LabelScheme,
 )
 from repro.core.prefix_tree import PrefixTree
-from repro.core.sampling import SamplingConfig, SamplingTimeReport, \
-    time_sampling_phase
+from repro.core.sampling import SamplingConfig, SamplingTimeReport
 from repro.core.taskset import TaskMap
-from repro.fs.binary import stage_binaries
-from repro.fs.lustre import LustreServer
-from repro.fs.mtab import MountTable
-from repro.fs.nfs import NFSServer
-from repro.fs.ramdisk import RamDisk
-from repro.fs.sbrs import SBRS, RelocationReport
-from repro.fs.server import LocalDisk
+from repro.fs.sbrs import RelocationReport
 from repro.launch.base import Launcher, LaunchResult
 from repro.launch.ciod import BglSystemLauncher
 from repro.launch.launchmon import LaunchMonLauncher
@@ -39,11 +39,11 @@ from repro.machine.base import MachineModel
 from repro.mpi.runtime import MPIRuntime, RankState
 from repro.mpi.stacks import BGLStackModel, LinuxStackModel, StackModel
 from repro.sim.engine import Engine
-from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
-from repro.tbon.network import DaemonFailure, ReduceResult, TBONetwork
+from repro.statbench.emulator import DaemonTrees
+from repro.tbon.network import ReduceResult
 from repro.tbon.topology import Topology
 
-__all__ = ["STATFrontEnd", "STATResult"]
+__all__ = ["STATFrontEnd", "STATResult", "remap_seconds"]
 
 #: Simulated remap cost per (label, task) bit — calibrated so the full
 #: 208K-task remap of a Figure-1-sized tree (~38 edge labels across the 2D
@@ -85,6 +85,16 @@ class STATResult:
         for cls in self.classes:
             lines.append(f"    {cls.label()}")
         return "\n".join(lines)
+
+
+def remap_seconds(scheme: LabelScheme, pair: DaemonTrees,
+                  task_map: TaskMap) -> float:
+    """Simulated cost of the front-end remap step (Section V-C)."""
+    if isinstance(scheme, DenseLabelScheme):
+        return 0.0  # dense labels are already rank-ordered
+    labels = pair.tree_2d.node_count() + pair.tree_3d.node_count()
+    return labels * (REMAP_SECONDS_PER_LABEL
+                     + REMAP_SECONDS_PER_LABEL_BIT * task_map.total_tasks)
 
 
 class STATFrontEnd:
@@ -137,6 +147,38 @@ class STATFrontEnd:
         return runtime
 
     # -- the debugging session ---------------------------------------------------
+    def pipeline(self, state_of: Callable[[int], RankState],
+                 num_samples: int = 10,
+                 staging: str = "nfs",
+                 use_sbrs: bool = False,
+                 sampling_config: Optional[SamplingConfig] = None,
+                 mapping: str = "cyclic",
+                 dead_daemons: Optional[set] = None,
+                 observers: Sequence = ()) -> "SessionPipeline":  # noqa: F821
+        """A ready-to-run :class:`~repro.api.pipeline.SessionPipeline`.
+
+        Same parameters as :meth:`attach_and_analyze`, but the phases are
+        yours to drive — run them one at a time, attach observers, inject
+        faults between phases.
+        """
+        from repro.api.pipeline import SessionContext, SessionPipeline
+        ctx = SessionContext(
+            machine=self.machine,
+            topology=self.topology,
+            scheme=self.scheme,
+            launcher=self.launcher,
+            stack_model=self.stack_model,
+            state_of=state_of,
+            seed=self.seed,
+            num_samples=num_samples,
+            staging=staging,
+            use_sbrs=use_sbrs,
+            sampling_config=sampling_config,
+            mapping=mapping,
+            dead_daemons=set(dead_daemons or ()),
+        )
+        return SessionPipeline(ctx, observers=observers)
+
     def attach_and_analyze(self, state_of: Callable[[int], RankState],
                            num_samples: int = 10,
                            staging: str = "nfs",
@@ -166,103 +208,43 @@ class STATFrontEnd:
             their subtrees (degraded session), their tasks are absent from
             the trees, and ``result.merge.missing_daemons`` records them.
         """
-        timings: Dict[str, float] = {}
-
-        # Phase 1 — launch (daemons + CPs + connect [+ app on BG/L]).
-        launch = self.launcher.launch(self.machine, self.topology,
-                                      mapping=mapping)
-        timings["launch"] = launch.sim_time
-        assert launch.process_table is not None
-        task_map = launch.process_table.task_map
-
-        # Setup — gather the rank map once over the tree (Section V-B:
-        # "we first collect the map information once during the setup
-        # phase").  16 bytes per task: rank, daemon, slot, pid.
-        map_network = TBONetwork(self.topology, self.machine)
-        map_gather = map_network.reduce(
-            leaf_payload_fn=lambda d: task_map.tasks_of(d) * 16,
-            merge_fn=lambda sizes: sum(sizes),
-            payload_nbytes=lambda nbytes: nbytes,
-        )
-        timings["map_gather"] = map_gather.sim_time
-
-        # File-system world shared by SBRS and sampling.
-        engine = Engine()
-        mtab = MountTable({
-            "nfs": NFSServer(engine),
-            "lustre": LustreServer(engine),
-            "ramdisk": RamDisk(),
-            "localdisk": LocalDisk(),
-        })
-        files = stage_binaries(self.machine.binary, default_mount=staging)
-
-        relocation: Optional[RelocationReport] = None
-        if use_sbrs:
-            sbrs = SBRS(mtab)
-            relocation = sbrs.relocate(engine, files,
-                                       self.machine.num_daemons)
-            files = sbrs.effective_files(files)
-            timings["sbrs"] = relocation.total_overhead
-
-        # Phase 2 — sampling (timing model + real trees via the emulator).
-        config = sampling_config or SamplingConfig(
+        return self.pipeline(
+            state_of,
             num_samples=num_samples,
-            application_stopped=use_sbrs,
-        )
-        sampling = time_sampling_phase(
-            self.machine, mtab, files, self.stack_model, config,
-            engine=engine, seed=self.seed)
-        timings["sample"] = sampling.max_seconds
+            staging=staging,
+            use_sbrs=use_sbrs,
+            sampling_config=sampling_config,
+            mapping=mapping,
+            dead_daemons=dead_daemons,
+        ).run()
 
-        emulator = STATBenchEmulator(
-            task_map, self.scheme, self.stack_model, state_of,
-            num_samples=config.num_samples,
-            threads_per_process=config.threads_per_process,
-            seed=self.seed)
+    def run(self, workload, **kwargs) -> STATResult:
+        """One full session against an application workload object.
 
-        # Phase 3 — TBO̅N merge of the locally merged 2D+3D trees.
-        dead = dead_daemons or set()
-
-        def leaf_payload(rank: int) -> DaemonTrees:
-            if rank in dead:
-                raise DaemonFailure(f"daemon {rank} unreachable")
-            return emulator.daemon_trees(rank)
-
-        network = TBONetwork(self.topology, self.machine)
-        merge = network.reduce(
-            leaf_payload_fn=leaf_payload,
-            merge_fn=emulator.merge_filter(),
-            payload_nbytes=DaemonTrees.serialized_bytes,
-            payload_nodes=DaemonTrees.node_count,
-            on_daemon_failure="skip" if dead else "raise",
-        )
-        timings["merge"] = merge.sim_time
-
-        # Phase 4 — finalize: remap to rank order (hierarchical only).
-        pair: DaemonTrees = merge.payload
-        tree_2d = self.scheme.finalize(pair.tree_2d, task_map)
-        tree_3d = self.scheme.finalize(pair.tree_3d, task_map)
-        timings["remap"] = self._remap_seconds(pair, task_map)
-
-        classes = triage_classes(tree_2d)
-        return STATResult(
-            tree_2d=tree_2d,
-            tree_3d=tree_3d,
-            classes=classes,
-            launch=launch,
-            sampling=sampling,
-            merge=merge,
-            relocation=relocation,
-            timings=timings,
-        )
+        ``workload`` is either an object exposing ``state_provider()``
+        (e.g. :meth:`repro.apps.ring.RingApp.with_hang`) or a plain
+        ``state_of(rank)`` callable; remaining keyword arguments are those
+        of :meth:`attach_and_analyze`.
+        """
+        provider = getattr(workload, "state_provider", None)
+        if callable(provider):
+            total = getattr(workload, "total_tasks", None)
+            if total is not None and total != self.machine.total_tasks:
+                raise ValueError(
+                    f"workload sized for {total} tasks but "
+                    f"{self.machine.name} runs {self.machine.total_tasks}")
+            state_of = provider()
+        elif callable(workload):
+            state_of = workload
+        else:
+            raise TypeError(
+                "workload must expose state_provider() or be a "
+                f"state_of(rank) callable, got {type(workload).__name__}")
+        return self.attach_and_analyze(state_of, **kwargs)
 
     def _remap_seconds(self, pair: DaemonTrees, task_map: TaskMap) -> float:
-        """Simulated cost of the front-end remap step (Section V-C)."""
-        if isinstance(self.scheme, DenseLabelScheme):
-            return 0.0  # dense labels are already rank-ordered
-        labels = pair.tree_2d.node_count() + pair.tree_3d.node_count()
-        return labels * (REMAP_SECONDS_PER_LABEL
-                         + REMAP_SECONDS_PER_LABEL_BIT * task_map.total_tasks)
+        """Back-compat shim over :func:`remap_seconds`."""
+        return remap_seconds(self.scheme, pair, task_map)
 
     def debug_hung_application(self, program: Callable,
                                **kwargs) -> STATResult:

@@ -28,6 +28,16 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 from repro.core.frames import Frame, ROOT_FRAME, StackTrace
 from repro.core.ranklist import format_edge_label
 
+
+def _default_label_union(a: Any, b: Any) -> Any:
+    """In-place union for the built-in label types (picklable default)."""
+    return a.union_inplace(b)
+
+
+def _default_label_copy(a: Any) -> Any:
+    """Label deep-copy for the built-in label types (picklable default)."""
+    return a.copy()
+
 __all__ = ["PrefixTreeNode", "PrefixTree"]
 
 
@@ -73,11 +83,11 @@ class PrefixTree:
     """
 
     def __init__(self,
-                 label_union: Callable[[Any, Any], Any] = lambda a, b: a.union_inplace(b),
-                 label_copy: Callable[[Any], Any] = lambda a: a.copy()) -> None:
+                 label_union: Optional[Callable[[Any, Any], Any]] = None,
+                 label_copy: Optional[Callable[[Any], Any]] = None) -> None:
         self.root = PrefixTreeNode(ROOT_FRAME)
-        self._label_union = label_union
-        self._label_copy = label_copy
+        self._label_union = label_union or _default_label_union
+        self._label_copy = label_copy or _default_label_copy
 
     # -- construction ------------------------------------------------------
     def insert(self, trace: StackTrace, label: Any) -> None:

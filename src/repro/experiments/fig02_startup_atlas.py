@@ -3,18 +3,20 @@
 Series: MRNet's serial rsh spawning over a flat 1-to-N topology (linear,
 failing outright at 512 daemons) versus LaunchMON bulk launch (512 daemons
 in ~5.6 s).  x is the daemon count (= Atlas compute nodes; 8 tasks each).
+
+Each data point is one declarative :class:`~repro.api.spec.SessionSpec`
+run through the launch phase of the session pipeline, batched over a
+:class:`~repro.api.suite.ScenarioSuite` — the whole figure is a single
+concurrent sweep instead of a bespoke loop.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.api.spec import SessionSpec
+from repro.api.suite import ScenarioSuite
 from repro.experiments.common import ExperimentResult, Row
-from repro.launch.base import LaunchError
-from repro.launch.launchmon import LaunchMonLauncher
-from repro.launch.rsh import SerialRshLauncher
-from repro.machine.atlas import AtlasMachine
-from repro.tbon.topology import Topology
 
 __all__ = ["run", "SCALES"]
 
@@ -22,10 +24,28 @@ __all__ = ["run", "SCALES"]
 SCALES: Sequence[int] = (4, 8, 16, 32, 64, 128, 256, 512)
 QUICK_SCALES: Sequence[int] = (4, 16, 64, 512)
 
+#: (series name, spec launcher id)
+_SERIES = (
+    ("mrnet-rsh (1-deep)", "rsh"),
+    ("launchmon (1-deep)", "launchmon"),
+)
+
+
+def _spec(launcher: str, daemons: int) -> SessionSpec:
+    return SessionSpec(
+        machine="atlas",
+        daemons=daemons,
+        topology="flat",
+        launcher=launcher,
+        mapping="block",
+        stop_after="launch",
+        name=f"{launcher}-{daemons}",
+    )
+
 
 def run(quick: bool = False,
         scales: Optional[Sequence[int]] = None) -> ExperimentResult:
-    """Regenerate both startup series."""
+    """Regenerate both startup series (one batched suite run)."""
     scales = scales or (QUICK_SCALES if quick else SCALES)
     result = ExperimentResult(
         figure="Figure 2",
@@ -33,19 +53,17 @@ def run(quick: bool = False,
         xlabel="daemons (1 per compute node)",
         ylabel="startup seconds",
     )
-    rsh = SerialRshLauncher("rsh")
-    launchmon = LaunchMonLauncher()
-    for daemons in scales:
-        machine = AtlasMachine.with_nodes(daemons)
-        topo = Topology.flat(daemons)
-        try:
-            t = rsh.launch(machine, topo).sim_time
-            result.rows.append(Row("mrnet-rsh (1-deep)", daemons, t))
-        except LaunchError as err:
-            result.rows.append(Row("mrnet-rsh (1-deep)", daemons, None,
-                                   note=str(err)[:60]))
-        t = launchmon.launch(machine, topo).sim_time
-        result.rows.append(Row("launchmon (1-deep)", daemons, t))
+    jobs = [(series, daemons, _spec(launcher, daemons))
+            for series, launcher in _SERIES
+            for daemons in scales]
+    report = ScenarioSuite([spec for _, _, spec in jobs]).run()
+    for (series, daemons, _), outcome in zip(jobs, report):
+        if outcome.ok:
+            result.rows.append(
+                Row(series, daemons, outcome.timings["launch"]))
+        else:
+            note = outcome.error.split(": ", 1)[-1][:60]
+            result.rows.append(Row(series, daemons, None, note=note))
     result.notes.append(
         "paper anchors: rsh linear (~60 s at 256), consistent failure at "
         "512; LaunchMON 512 daemons in 5.6 s")

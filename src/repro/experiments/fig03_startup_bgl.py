@@ -6,17 +6,20 @@ accounts for over 86% of the startup time" at 64K VN).  The pre-patch
 series hang at 208K processes; the patched series show the paper's
 end-of-curve drops (">2x speedup at 104K processes in the 2-deep CO
 case").
+
+Every (series, scale) point is a declarative
+:class:`~repro.api.spec.SessionSpec` stopped after the launch phase; the
+whole figure runs as one :class:`~repro.api.suite.ScenarioSuite` batch.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.api.spec import SessionSpec
+from repro.api.suite import ScenarioSuite
 from repro.experiments.common import ExperimentResult, Row
-from repro.launch.base import LaunchHang
-from repro.launch.ciod import BglSystemLauncher
-from repro.machine.bgl import BGLMachine
-from repro.tbon.topology import Topology
+from repro.machine.bgl import BGL_COMPUTE_NODES_PER_IO_NODE
 
 __all__ = ["run", "SCALES"]
 
@@ -24,13 +27,34 @@ __all__ = ["run", "SCALES"]
 SCALES: Sequence[int] = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 106496)
 QUICK_SCALES: Sequence[int] = (1024, 16384, 106496)
 
+#: (series name, topology shape, mode, patched)
+_COMBOS = (
+    ("2-deep CO prepatch", "bgl-2deep", "co", False),
+    ("2-deep CO patched", "bgl-2deep", "co", True),
+    ("2-deep VN prepatch", "bgl-2deep", "vn", False),
+    ("2-deep VN patched", "bgl-2deep", "vn", True),
+    ("3-deep VN patched", "bgl-3deep", "vn", True),
+)
 
-def _topology(kind: str, daemons: int) -> Topology:
-    if kind == "1-deep":
-        return Topology.flat(daemons)
-    if kind == "2-deep":
-        return Topology.bgl_two_deep(daemons)
-    return Topology.bgl_three_deep(daemons)
+
+def _spec(topology: str, mode: str, patched: bool,
+          compute_nodes: int) -> SessionSpec:
+    io_nodes, rem = divmod(compute_nodes, BGL_COMPUTE_NODES_PER_IO_NODE)
+    if rem:
+        raise ValueError(
+            f"BG/L compute-node counts are multiples of "
+            f"{BGL_COMPUTE_NODES_PER_IO_NODE}")
+    return SessionSpec(
+        machine="bgl",
+        daemons=io_nodes,
+        mode=mode,
+        topology=topology,
+        launcher="bgl-system" if patched else "bgl-system-prepatch",
+        mapping="block",
+        stop_after="launch",
+        name=f"{topology}-{mode}{'' if patched else '-prepatch'}"
+             f"-{compute_nodes}",
+    )
 
 
 def run(quick: bool = False,
@@ -43,29 +67,23 @@ def run(quick: bool = False,
         xlabel="compute nodes",
         ylabel="startup seconds (includes app launch under tool control)",
     )
-    combos = [
-        ("2-deep CO prepatch", "2-deep", "co", False),
-        ("2-deep CO patched", "2-deep", "co", True),
-        ("2-deep VN prepatch", "2-deep", "vn", False),
-        ("2-deep VN patched", "2-deep", "vn", True),
-        ("3-deep VN patched", "3-deep", "vn", True),
-    ]
-    for series, topo_kind, mode, patched in combos:
-        launcher = BglSystemLauncher(patched=patched)
-        for compute_nodes in scales:
-            machine = BGLMachine.with_compute_nodes(compute_nodes, mode)
-            topo = _topology(topo_kind, machine.num_daemons)
-            try:
-                res = launcher.launch(machine, topo)
-                note = ""
-                if compute_nodes == 65536 and mode == "vn" and not patched:
-                    note = (f"system software fraction = "
-                            f"{res.system_software_fraction():.0%}")
-                result.rows.append(
-                    Row(series, compute_nodes, res.sim_time, note=note))
-            except LaunchHang as err:
-                result.rows.append(
-                    Row(series, compute_nodes, None, note=str(err)[:60]))
+    jobs = [(series, mode, patched, compute_nodes,
+             _spec(topo, mode, patched, compute_nodes))
+            for series, topo, mode, patched in _COMBOS
+            for compute_nodes in scales]
+    report = ScenarioSuite([spec for *_, spec in jobs]).run()
+    for (series, mode, patched, compute_nodes, _), outcome in \
+            zip(jobs, report):
+        if outcome.ok:
+            note = ""
+            if compute_nodes == 65536 and mode == "vn" and not patched:
+                note = (f"system software fraction = "
+                        f"{outcome.launch.system_software_fraction():.0%}")
+            result.rows.append(Row(series, compute_nodes,
+                                   outcome.timings["launch"], note=note))
+        else:
+            note = outcome.error.split(": ", 1)[-1][:60]
+            result.rows.append(Row(series, compute_nodes, None, note=note))
     result.notes.append(
         "paper anchors: >100 s at 1,024 nodes; linear scaling; 86% system "
         "software at 64K VN; pre-patch hang at 208K processes; >2x "

@@ -1,0 +1,94 @@
+"""ScenarioSuite: concurrent batch execution and the comparison table."""
+
+import pytest
+
+from repro.api import ScenarioSuite, SessionSpec, execute_spec
+
+
+def specs_for(daemons_list, **kwargs):
+    return [SessionSpec(machine="bgl", daemons=d, num_samples=2,
+                        name=f"bgl-{d}", **kwargs)
+            for d in daemons_list]
+
+
+class TestSuiteRun:
+    def test_parallel_three_specs(self):
+        """Acceptance: >= 3 specs concurrently, per-spec results."""
+        suite = ScenarioSuite(specs_for([3, 4, 5]))
+        report = suite.run(max_workers=3, parallel=True)
+        assert len(report) == 3
+        assert all(o.ok for o in report)
+        assert all(o.result is not None for o in report)
+        # outcomes come back in submission order
+        assert [o.name for o in report] == ["bgl-3", "bgl-4", "bgl-5"]
+        # bigger machines launch slower: monotone launch timings
+        launches = [o.timings["launch"] for o in report]
+        assert launches == sorted(launches)
+
+    def test_four_spec_sweep_single_invocation(self):
+        """Acceptance: a 4-spec sweep with per-spec results in one call."""
+        report = ScenarioSuite(specs_for([3, 4, 5, 6])).run()
+        assert len(report.results) == 4
+        assert all(r is not None for r in report.results)
+        assert len({id(r) for r in report.results}) == 4
+
+    def test_parallel_matches_serial_timings(self):
+        specs = specs_for([3, 4, 5])
+        parallel = ScenarioSuite(specs).run(max_workers=3)
+        serial = ScenarioSuite(specs).run(parallel=False)
+        assert [o.timings for o in parallel] == \
+            [o.timings for o in serial]
+
+    def test_failure_isolated_per_spec(self):
+        good = SessionSpec(machine="atlas", daemons=4, launcher="rsh",
+                           topology="flat", stop_after="launch")
+        bad = good.replace(daemons=512)  # rsh fails at 512 daemons
+        report = ScenarioSuite([good, bad]).run(parallel=False)
+        assert report.outcomes[0].ok
+        assert not report.outcomes[1].ok
+        assert "LaunchError" in report.outcomes[1].error
+        assert report.failures == [report.outcomes[1]]
+
+    def test_stop_after_yields_timings_without_result(self):
+        spec = SessionSpec(machine="bgl", daemons=4, stop_after="sample")
+        outcome = execute_spec(spec)
+        assert outcome.ok and outcome.result is None
+        assert set(outcome.timings) == {"launch", "map_gather", "sample"}
+        assert outcome.total_seconds == pytest.approx(
+            sum(outcome.timings.values()))
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSuite([])
+
+    def test_from_files(self, tmp_path):
+        paths = [spec.save(tmp_path / f"{spec.name}.json")
+                 for spec in specs_for([3, 4])]
+        suite = ScenarioSuite.from_files(paths)
+        assert [s.daemons for s in suite.specs] == [3, 4]
+
+
+class TestReportTable:
+    def test_table_lists_every_scenario(self):
+        report = ScenarioSuite(specs_for([3, 4, 5])).run(parallel=False)
+        table = report.table()
+        for name in ("bgl-3", "bgl-4", "bgl-5"):
+            assert name in table
+        assert "launch" in table and "classes" in table
+        assert "3 scenarios" in table
+
+    def test_table_marks_failures(self):
+        bad = SessionSpec(machine="atlas", daemons=512, launcher="rsh",
+                          topology="flat", stop_after="launch",
+                          name="doomed")
+        report = ScenarioSuite([bad]).run(parallel=False)
+        assert "FAILED" in report.table()
+
+    def test_timing_columns_canonical_order(self):
+        report = ScenarioSuite(
+            specs_for([3]) +
+            [SessionSpec(machine="atlas", daemons=4, use_sbrs=True,
+                         num_samples=2, name="sbrs")]).run(parallel=False)
+        cols = report.timing_columns()
+        assert cols.index("launch") < cols.index("sbrs") < \
+            cols.index("merge")

@@ -14,7 +14,8 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = ["quickstart.py", "bitvector_anatomy.py",
-                 "session_workflow.py", "sbrs_demo.py"]
+                 "session_workflow.py", "sbrs_demo.py",
+                 "scenario_sweep.py"]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)

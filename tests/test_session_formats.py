@@ -1,0 +1,86 @@
+"""Session archive formats: v2 writes, v1 read compatibility, spec replay."""
+
+import json
+
+import pytest
+
+from repro.api import SessionSpec
+from repro.core.session import load_session, save_session
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SessionSpec(machine="bgl", daemons=4, num_samples=2, seed=13)
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return spec.run().result
+
+
+class TestV2Write:
+    def test_save_embeds_spec(self, tmp_path, spec, result):
+        out = save_session(result, tmp_path / "sess", spec=spec)
+        meta = json.loads((out / "session.json").read_text())
+        assert meta["format_version"] == 2
+        assert meta["spec"]["machine"] == "bgl"
+        # machine name derived from the spec when not given
+        assert meta["machine"] == "bgl-4io-co"
+
+    def test_archive_exposes_spec(self, tmp_path, spec, result):
+        save_session(result, tmp_path / "sess", spec=spec)
+        archive = load_session(tmp_path / "sess")
+        assert archive.format_version == 2
+        assert archive.spec == spec
+        assert archive.timings == result.timings
+
+    def test_save_without_spec(self, tmp_path, result):
+        save_session(result, tmp_path / "sess", machine_name="m")
+        archive = load_session(tmp_path / "sess")
+        assert archive.spec is None
+        assert archive.meta["machine"] == "m"
+
+    def test_archive_spec_is_replayable(self, tmp_path, spec, result):
+        save_session(result, tmp_path / "sess", spec=spec)
+        replay = load_session(tmp_path / "sess").spec.run().result
+        assert replay.timings == result.timings
+
+
+class TestV1ReadCompatibility:
+    def test_v1_directory_still_loads(self, tmp_path, spec, result):
+        out = save_session(result, tmp_path / "sess", spec=spec)
+        # Rewrite session.json exactly as the v1 writer produced it.
+        meta = json.loads((out / "session.json").read_text())
+        meta["format_version"] = 1
+        del meta["spec"]
+        (out / "session.json").write_text(json.dumps(meta, indent=2))
+
+        archive = load_session(out)
+        assert archive.format_version == 1
+        assert archive.spec is None
+        assert archive.timings == result.timings
+        assert [c.size for c in archive.classes] == \
+            [c.size for c in result.classes]
+
+    def test_corrupted_embedded_spec_raises(self, tmp_path, spec, result):
+        from repro.api import SpecValidationError
+
+        out = save_session(result, tmp_path / "sess", spec=spec)
+        meta = json.loads((out / "session.json").read_text())
+        meta["spec"]["machine"] = "cray"  # hand-edited to nonsense
+        (out / "session.json").write_text(json.dumps(meta))
+        archive = load_session(out)
+        with pytest.raises(SpecValidationError):
+            archive.spec
+
+    def test_unknown_version_rejected(self, tmp_path, spec, result):
+        out = save_session(result, tmp_path / "sess", spec=spec)
+        meta = json.loads((out / "session.json").read_text())
+        meta["format_version"] = 99
+        (out / "session.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="unsupported session format"):
+            load_session(out)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_session(tmp_path)

@@ -147,7 +147,7 @@ class TestSessionPersistence:
     def test_version_check(self, session_result, tmp_path):
         out = save_session(session_result, tmp_path / "s4")
         meta = (out / "session.json").read_text().replace(
-            '"format_version": 1', '"format_version": 9')
+            '"format_version": 2', '"format_version": 9')
         (out / "session.json").write_text(meta)
         with pytest.raises(ValueError, match="version"):
             load_session(out)
