@@ -49,6 +49,8 @@ from repro.core.taskset import (
     RankRemapper,
     TaskMap,
 )
+from repro.core.treearrays import TreeArrays
+from repro.perf import PERF
 
 __version__ = "1.0.0"
 
@@ -72,4 +74,6 @@ __all__ = [
     "HierarchicalLabelScheme",
     "EquivalenceClass",
     "equivalence_classes",
+    "TreeArrays",
+    "PERF",
 ]

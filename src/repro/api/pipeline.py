@@ -35,6 +35,7 @@ from repro.fs.server import LocalDisk
 from repro.launch.base import Launcher, LaunchResult
 from repro.machine.base import MachineModel
 from repro.mpi.stacks import StackModel
+from repro.perf.counters import PERF
 from repro.sim.engine import Engine
 from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
 from repro.statbench.generator import StateProvider
@@ -390,7 +391,9 @@ class SessionPipeline:
         before = dict(self.ctx.timings)
         for obs in self.observers:
             obs.on_phase_start(phase.name, self.ctx)
-        phase.run(self.ctx)
+        with PERF.timer(f"pipeline.{phase.name}.wall_seconds"):
+            phase.run(self.ctx)
+        PERF.add(f"pipeline.{phase.name}.runs")
         sim = sum(v for k, v in self.ctx.timings.items() if k not in before)
         for obs in self.observers:
             obs.on_phase_end(phase.name, self.ctx, sim)

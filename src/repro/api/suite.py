@@ -156,18 +156,66 @@ def _execute_spec_dict(spec_dict: Dict) -> ScenarioOutcome:
     return execute_spec(SessionSpec.from_dict(spec_dict))
 
 
+def _execute_spec_dicts(spec_dicts: List[Dict]) -> List[ScenarioOutcome]:
+    """Chunked pool-worker entry point: one IPC round-trip per chunk."""
+    return [_execute_spec_dict(d) for d in spec_dicts]
+
+
 class ScenarioSuite:
-    """A batch of declarative sessions executed with one call."""
+    """A batch of declarative sessions executed with one call.
+
+    The process pool is created lazily on the first parallel :meth:`run`
+    and **reused** across subsequent calls (figure sweeps invoke ``run``
+    many times; a fresh pool per call paid worker startup and interpreter
+    warm-up every time).  Specs are submitted in chunks via
+    ``Executor.map`` so many-spec sweeps amortize pickling and IPC
+    round-trips instead of paying one future per spec.  Call
+    :meth:`close` (or use the suite as a context manager) to shut the
+    pool down deterministically.
+    """
 
     def __init__(self, specs: Sequence[SessionSpec]) -> None:
         if not specs:
             raise ValueError("ScenarioSuite needs at least one spec")
         self.specs: List[SessionSpec] = list(specs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
 
     @classmethod
     def from_files(cls, paths: Sequence) -> "ScenarioSuite":
         """Load one spec per JSON file."""
         return cls([SessionSpec.load(p) for p in paths])
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The shared pool, (re)created only when it must grow."""
+        if self._pool is not None and self._pool_workers < workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reused process pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ScenarioSuite":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
 
     def run(self, max_workers: Optional[int] = None,
             parallel: bool = True) -> SuiteReport:
@@ -189,19 +237,51 @@ class ScenarioSuite:
                            wall_seconds=time.perf_counter() - started)
 
     def _run_pool(self, workers: int) -> List[ScenarioOutcome]:
+        # Chunked submission: one future per ~chunk of specs keeps the
+        # per-spec pickle/dispatch overhead off many-spec sweeps, while
+        # chunk *futures* (rather than one big map) mean a worker-killing
+        # spec only costs its own chunk: completed chunks keep their
+        # results and only the failed chunks are retried per spec.
+        chunksize = max(1, len(self.specs) // (workers * 4))
+        chunks = [self.specs[i:i + chunksize]
+                  for i in range(0, len(self.specs), chunksize)]
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_execute_spec_dict, s.to_dict())
-                           for s in self.specs]
-                outcomes = []
-                for spec, future in zip(self.specs, futures):
-                    try:
-                        outcomes.append(future.result())
-                    except Exception as err:  # worker died / unpicklable
-                        outcomes.append(ScenarioOutcome(
-                            spec=spec,
-                            error=f"{type(err).__name__}: {err}"))
-                return outcomes
+            pool = self._get_pool(workers)
+            futures = [pool.submit(_execute_spec_dicts,
+                                   [s.to_dict() for s in chunk])
+                       for chunk in chunks]
         except (OSError, PermissionError):
             # No subprocess support (restricted sandbox): degrade to inline.
+            self.close()
             return [execute_spec(spec) for spec in self.specs]
+        outcomes: List[ScenarioOutcome] = []
+        for chunk, future in zip(chunks, futures):
+            try:
+                outcomes.extend(future.result())
+            except Exception:  # noqa: BLE001 - worker died mid-chunk
+                # Isolate the culprit: fresh pool, one future per spec of
+                # this chunk only; a spec whose worker dies again becomes
+                # its own error outcome.  The parent never runs specs
+                # inline here, so a hard-crashing spec cannot take the
+                # whole sweep down.
+                self.close()
+                outcomes.extend(self._retry_specs(chunk, workers))
+        return outcomes
+
+    def _retry_specs(self, specs: List[SessionSpec],
+                     workers: int) -> List[ScenarioOutcome]:
+        """Per-future retry of one failed chunk (per-spec isolation)."""
+        outcomes: List[ScenarioOutcome] = []
+        for spec in specs:
+            try:
+                pool = self._get_pool(workers)
+                outcomes.append(
+                    pool.submit(_execute_spec_dict, spec.to_dict()).result())
+            except (OSError, PermissionError):
+                self.close()
+                outcomes.append(execute_spec(spec))
+            except Exception as err:  # worker died again: this spec's fault
+                self.close()
+                outcomes.append(ScenarioOutcome(
+                    spec=spec, error=f"{type(err).__name__}: {err}"))
+        return outcomes

@@ -15,6 +15,11 @@ Commands
 ``figure <id>``
     Regenerate one paper figure's series and print the rows
     (``fig1`` .. ``fig10``, ``claims``, ``ablation-*``).
+``bench``
+    Merge-kernel microbenchmarks (vectorized vs retained reference) at
+    fig07 full scale; writes ``BENCH_merge.json``.  ``--scale million``
+    adds the 1,048,576-task hierarchical sweep point; ``--baseline``
+    fails on >2x regression versus a checked-in report.
 ``list``
     List available figure/claim ids.
 """
@@ -87,6 +92,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="smaller scale list (seconds, not minutes)")
     figure.add_argument("--chart", action="store_true",
                         help="append an ASCII log-log chart")
+
+    bench = sub.add_parser(
+        "bench", help="merge-kernel microbenchmarks (BENCH_merge.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke scale (64 daemons) instead of the "
+                            "fig07 full scale (1,664 daemons)")
+    bench.add_argument("--scale", choices=("fig07", "million"),
+                       default="fig07",
+                       help="'million' adds the 1,048,576-task "
+                            "hierarchical sweep point")
+    bench.add_argument("--daemons", type=int, default=None,
+                       help="override the daemon count")
+    bench.add_argument("--samples", type=int, default=None,
+                       help="sampling instants per daemon "
+                            "(default 10; 4 with --quick)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repetitions, best-of is reported "
+                            "(default 5; 3 with --quick)")
+    bench.add_argument("--out", metavar="FILE", default="BENCH_merge.json",
+                       help="where to write the JSON report")
+    bench.add_argument("--baseline", metavar="FILE", default=None,
+                       help="checked-in report to compare against "
+                            "(fails on >2x regression)")
+    bench.add_argument("--seed", type=int, default=208_000)
 
     repro_all = sub.add_parser(
         "reproduce-all",
@@ -287,6 +316,34 @@ def _run_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import check_baseline, run_bench
+
+    try:
+        report = run_bench(
+            daemons=args.daemons,
+            samples=args.samples,
+            repeats=args.repeats,
+            quick=args.quick,
+            million=args.scale == "million",
+            seed=args.seed)
+    except ValueError as err:
+        raise SystemExit(f"bench: {err}")
+    print(report.table())
+    report.write(args.out)
+    print(f"report written to {args.out}")
+    status = 0 if report.ok else 1
+    if not report.ok:
+        print("FAIL: vectorized kernels diverged from the reference")
+    if args.baseline:
+        ok, messages = check_baseline(report, args.baseline)
+        for message in messages:
+            print(f"baseline: {message}")
+        if not ok:
+            status = 1
+    return status
+
+
 def _run_figure(args: argparse.Namespace) -> int:
     module = importlib.import_module(REGISTRY[args.id])
     result = module.run(quick=args.quick)
@@ -321,6 +378,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_sweep(args)
         if args.command == "figure":
             return _run_figure(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.command == "reproduce-all":
             return _run_reproduce_all(args)
         if args.command == "inspect":

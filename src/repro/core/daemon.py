@@ -17,15 +17,16 @@ emulating 1,664 daemons with the *original* (dense) representation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.frames import StackTrace
-from repro.core.merge import LabelScheme
+from repro.core.merge import DenseLabelScheme, LabelScheme
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
 from repro.core.stackwalk import StackWalker
-from repro.core.taskset import TaskMap
+from repro.core.taskset import DaemonLayout, TaskMap
+from repro.core.treearrays import KIND_DENSE, KIND_HIER, TreeArrays
 from repro.mpi.runtime import RankState
 from repro.mpi.stacks import StackModel
 
@@ -83,6 +84,14 @@ class STATDaemon:
         self.samples_taken += 1
         return traces
 
+    def collect_samples(self, state_of: Callable[[int], RankState],
+                        num_samples: int) -> None:
+        """Gather ``num_samples`` instants without materializing labels."""
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        for _ in range(num_samples):
+            self.sample_once(state_of)
+
     def sample_many(self, state_of: Callable[[int], RankState],
                     num_samples: int) -> Tuple[PrefixTree, PrefixTree]:
         """Gather ``num_samples`` instants (the paper's runs use ten).
@@ -90,28 +99,117 @@ class STATDaemon:
         Returns ``(last 2D tree, accumulated 3D tree)`` with this daemon's
         configured leaf labels.
         """
-        if num_samples < 1:
-            raise ValueError("num_samples must be >= 1")
-        for _ in range(num_samples):
-            self.sample_once(state_of)
+        self.collect_samples(state_of, num_samples)
         return self.tree_2d, self.tree_3d
 
     # -- label materialization ------------------------------------------------
-    def _materialize(self, slot_tree: PrefixTree) -> PrefixTree:
+    def _label_for(self, slots: Set[int], cache: Dict[frozenset, Any]) -> Any:
+        """The scheme label for a slot set, shared across equal sets.
+
+        Long call chains carry the same task set on every edge; building
+        (and later merging/transmitting the in-memory form of) one label
+        per *distinct* set instead of per node is what keeps full-machine
+        emulation affordable.  Labels are treated as immutable once
+        placed on a materialized tree.
+        """
+        key = frozenset(slots)
+        label = cache.get(key)
+        if label is None:
+            label = cache[key] = self.scheme.daemon_label(
+                self.daemon_id, self.width, sorted(slots), self.task_map)
+        return label
+
+    def _materialize(self, slot_tree: PrefixTree,
+                     cache: Optional[Dict[frozenset, Any]] = None) -> PrefixTree:
         """Convert a slot-set tree into the scheme's label representation."""
         out = self.scheme.make_empty_tree()
+        if cache is None:
+            cache = {}
 
         def rec(src: PrefixTreeNode, dst: PrefixTreeNode) -> None:
             for frame, child in src.children.items():
-                label = self.scheme.daemon_label(
-                    self.daemon_id, self.width, sorted(child.tasks),
-                    self.task_map)
-                node = PrefixTreeNode(frame, label)
+                node = PrefixTreeNode(frame,
+                                      self._label_for(child.tasks, cache))
                 dst.children[frame] = node
                 rec(child, node)
 
         rec(slot_tree.root, out.root)
         return out
+
+    def _materialize_arrays(self, slot_tree: PrefixTree,
+                            cache: Dict[frozenset, Any]) -> TreeArrays:
+        """Convert a slot-set tree straight into an array-backed tree.
+
+        The hot-path twin of :meth:`_materialize`: nodes flatten to BFS
+        arrays, labels deduplicate by slot set into one packed matrix,
+        and (for the dense scheme) each distinct row records the byte
+        span that actually carries bits, so the k-way merge kernels can
+        skip the job-width zero fringe.
+        """
+        scheme = self.scheme
+        dense = isinstance(scheme, DenseLabelScheme)
+        frame_ids: List[int] = []
+        parents: List[int] = []
+        label_refs: List[int] = []
+        level_offsets = [0]
+        rows: List[np.ndarray] = []
+        spans: List[Tuple[int, int]] = []
+        row_of: Dict[frozenset, int] = {}
+        first_label: Any = None
+
+        level = [(-1, child) for child in slot_tree.root.children.values()]
+        while level:
+            nxt = []
+            for parent_gid, node in level:
+                gid = len(frame_ids)
+                frame_ids.append(node.frame.id)
+                parents.append(parent_gid)
+                key = frozenset(node.tasks)
+                row = row_of.get(key)
+                if row is None:
+                    label = self._label_for(node.tasks, cache)
+                    if first_label is None:
+                        first_label = label
+                    row = row_of[key] = len(rows)
+                    rows.append(label.data)
+                    if dense:
+                        spans.append(scheme.leaf_span(
+                            self.daemon_id, sorted(node.tasks),
+                            self.task_map))
+                label_refs.append(row)
+                for child in node.children.values():
+                    nxt.append((gid, child))
+            level_offsets.append(len(frame_ids))
+            level = nxt
+
+        if dense:
+            kind, width, layout = KIND_DENSE, scheme.total_tasks, None
+            nbytes = (width + 7) // 8
+        else:
+            kind, width = KIND_HIER, None
+            layout = first_label.layout if first_label is not None \
+                else DaemonLayout.for_daemon(self.daemon_id, self.width)
+            nbytes = layout.nbytes
+        labels = np.stack(rows) if rows \
+            else np.zeros((0, nbytes), dtype=np.uint8)
+        return TreeArrays(
+            kind,
+            np.asarray(frame_ids, dtype=np.int64),
+            np.asarray(parents, dtype=np.int64),
+            np.asarray(label_refs, dtype=np.int64),
+            np.asarray(level_offsets, dtype=np.int64),
+            labels,
+            spans=np.asarray(spans, dtype=np.int64).reshape(-1, 2)
+            if dense else None,
+            width=width, layout=layout)
+
+    def trees_arrays(self) -> Tuple[TreeArrays, TreeArrays]:
+        """Array-backed ``(2D, 3D)`` trees — the emulator/TBO̅N hot path."""
+        if self._tree_2d is None:
+            raise RuntimeError("no samples taken yet")
+        cache: Dict[frozenset, Any] = {}
+        return (self._materialize_arrays(self._tree_2d, cache),
+                self._materialize_arrays(self._tree_3d, cache))
 
     @property
     def tree_2d(self) -> PrefixTree:

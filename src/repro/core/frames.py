@@ -10,31 +10,77 @@ A :class:`StackTrace` is an immutable root→leaf tuple of frames, optionally
 qualified by a thread id (Section VII: STAT's planned thread support keeps
 the *process* as the unit of representation, so the thread id never enters
 the prefix tree — it only multiplies the number of traces gathered).
+
+Both types are engineered for the merge/insert hot path:
+
+* Frames are **interned** (:mod:`repro.core.interning`): equal frames are
+  the same object, carry a dense integer ``id``, and cache their hash, so
+  the millions of dict operations in full-machine emulation compare
+  pointers instead of re-hashing strings.
+* Traces cache their hash and expose :meth:`StackTrace.frame_ids` so bulk
+  insertion can sort by interned-id prefix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Tuple
+
+from repro.core.interning import FRAMES
 
 __all__ = ["Frame", "StackTrace", "ROOT_FRAME"]
 
 
-@dataclass(frozen=True, slots=True)
 class Frame:
     """One call-stack level: ``function`` defined in ``module``.
 
     ``module`` is the basename the daemons would resolve through the file
     system ("app", "libmpi.so", ...).  Equality and hashing include it, so
     a ``poll`` in the MPI library never merges with a ``poll`` in the app.
+
+    Instances are interned: ``Frame(f, m)`` returns the one canonical
+    object for that key, whose ``id`` is a dense process-wide integer.
     """
 
-    function: str
-    module: str = ""
+    __slots__ = ("function", "module", "id", "_hash")
 
-    def __post_init__(self) -> None:
-        if not self.function:
+    def __new__(cls, function: str = "", module: str = "") -> "Frame":
+        frame = FRAMES.get(function, module)
+        if frame is not None:
+            return frame
+        if not function:
             raise ValueError("frame function name must be non-empty")
+        self = object.__new__(cls)
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "module", module)
+        object.__setattr__(self, "_hash", hash((function, module)))
+        object.__setattr__(
+            self, "id",
+            FRAMES.register(function, module, self,
+                            self.serialized_bytes()))
+        return self
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"Frame is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Frame is immutable (tried to del {name!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Frame):
+            # Interning makes this unreachable in-process, but stay correct
+            # for exotic cases (e.g. a Frame smuggled in via __new__ bypass).
+            return (self.function == other.function
+                    and self.module == other.module)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Re-intern on unpickle: ids are process-local.
+        return (Frame, (self.function, self.module))
 
     def serialized_bytes(self) -> int:
         """Wire-size model: length-prefixed function and module names."""
@@ -43,12 +89,14 @@ class Frame:
     def __str__(self) -> str:
         return self.function
 
+    def __repr__(self) -> str:
+        return f"Frame(function={self.function!r}, module={self.module!r})"
+
 
 #: Sentinel frame for the artificial root of every prefix tree.
 ROOT_FRAME = Frame("/")
 
 
-@dataclass(frozen=True, slots=True)
 class StackTrace:
     """An immutable call path, ordered root (``frames[0]``) to leaf.
 
@@ -58,20 +106,55 @@ class StackTrace:
     excluded from comparisons.
     """
 
-    frames: Tuple[Frame, ...]
-    thread_id: int = field(default=0, compare=False)
+    __slots__ = ("frames", "thread_id", "_hash", "_ids")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.frames, tuple):
-            object.__setattr__(self, "frames", tuple(self.frames))
-        if not self.frames:
+    def __init__(self, frames: Iterable[Frame], thread_id: int = 0) -> None:
+        if not isinstance(frames, tuple):
+            frames = tuple(frames)
+        if not frames:
             raise ValueError("a stack trace needs at least one frame")
+        object.__setattr__(self, "frames", frames)
+        object.__setattr__(self, "thread_id", thread_id)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_ids", None)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"StackTrace is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"StackTrace is immutable (tried to del {name!r})")
 
     @classmethod
     def from_names(cls, names: Iterable[str], module: str = "",
                    thread_id: int = 0) -> "StackTrace":
         """Build a trace from bare function names (single module)."""
         return cls(tuple(Frame(n, module) for n in names), thread_id=thread_id)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, StackTrace):
+            return self.frames == other.frames
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self.frames)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __reduce__(self):
+        return (StackTrace, (self.frames, self.thread_id))
+
+    def frame_ids(self) -> Tuple[int, ...]:
+        """Interned frame ids along the path (cached; sort key for bulk
+        insertion and the array-backed tree kernels)."""
+        ids = self._ids
+        if ids is None:
+            ids = tuple(f.id for f in self.frames)
+            object.__setattr__(self, "_ids", ids)
+        return ids
 
     @property
     def depth(self) -> int:
@@ -115,3 +198,7 @@ class StackTrace:
 
     def __str__(self) -> str:
         return " > ".join(f.function for f in self.frames)
+
+    def __repr__(self) -> str:
+        return (f"StackTrace(frames={self.frames!r}, "
+                f"thread_id={self.thread_id!r})")

@@ -1,0 +1,95 @@
+"""Process-wide frame interning: frames become dense integer ids.
+
+The merge/insert hot path is dominated by dictionary operations keyed by
+:class:`~repro.core.frames.Frame`.  As a frozen dataclass, every lookup
+re-hashed two strings and re-compared tuples; at full-machine emulation
+scale (millions of stack walks) that hashing alone was ~30% of wall
+clock.  Interning fixes the *data*, not the loop:
+
+* every distinct ``(function, module)`` pair maps to exactly one
+  :class:`Frame` object, registered here with a **dense integer id**;
+* equal frames are identical objects, so dict hits compare by pointer;
+* hashes are computed once at intern time and cached on the frame;
+* the dense ids let the array-backed tree kernels
+  (:mod:`repro.core.treearrays`) represent structure as ``int64`` arrays
+  and replace per-node recursion with vectorized level merges.
+
+The table is append-only and process-wide (``FRAMES``).  Ids are *not*
+stable across processes: anything that serializes frame ids (pickled
+:class:`~repro.core.treearrays.TreeArrays`, the wire codec) must ship
+the ``(function, module)`` pairs and re-intern on load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FrameInterner", "FRAMES"]
+
+
+class FrameInterner:
+    """Append-only intern table mapping frame keys to dense int ids.
+
+    The table is deliberately generic: it stores caller-provided objects
+    under ``(function, module)`` string keys so that :mod:`repro.core.frames`
+    can register its :class:`Frame` instances without a circular import.
+    """
+
+    __slots__ = ("_ids", "_frames", "_sizes", "_sizes_array")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple[str, str], int] = {}
+        self._frames: List[object] = []
+        self._sizes: List[int] = []
+        self._sizes_array: Optional[np.ndarray] = None
+
+    def get(self, function: str, module: str):
+        """The interned frame for a key, or None."""
+        idx = self._ids.get((function, module))
+        return None if idx is None else self._frames[idx]
+
+    def register(self, function: str, module: str, frame: object,
+                 serialized_bytes: int) -> int:
+        """Intern ``frame`` under its key; returns the new dense id.
+
+        The caller (``Frame.__new__``) guarantees the key is not yet
+        present.  ``serialized_bytes`` is cached so tree-level wire-size
+        sums can be computed with one vectorized gather.
+        """
+        fid = len(self._frames)
+        self._ids[(function, module)] = fid
+        self._frames.append(frame)
+        self._sizes.append(serialized_bytes)
+        self._sizes_array = None  # grown: invalidate the cached array
+        return fid
+
+    def frame_of(self, frame_id: int):
+        """The frame registered under a dense id."""
+        return self._frames[frame_id]
+
+    def frames_of(self, frame_ids) -> List[object]:
+        """Batch :meth:`frame_of`."""
+        frames = self._frames
+        return [frames[int(i)] for i in frame_ids]
+
+    def serialized_bytes_of(self, frame_ids: np.ndarray) -> int:
+        """Sum of per-frame wire sizes for an id array (vectorized)."""
+        if len(frame_ids) == 0:
+            return 0
+        sizes = self._sizes_array
+        if sizes is None or sizes.size != len(self._sizes):
+            sizes = self._sizes_array = np.asarray(self._sizes,
+                                                   dtype=np.int64)
+        return int(sizes[np.asarray(frame_ids, dtype=np.int64)].sum())
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return f"<FrameInterner frames={len(self._frames)}>"
+
+
+#: The process-wide intern table used by :class:`repro.core.frames.Frame`.
+FRAMES = FrameInterner()

@@ -16,15 +16,27 @@ for both label representations — matching paths share nodes — but the
 
 Both schemes expose the same interface so daemons, filters, and benchmarks
 are generic over the representation.
+
+Since the vectorized rewrite, the hot path is **k-way over array-backed
+trees** (:class:`~repro.core.treearrays.TreeArrays`): one iterative
+level-order structure merge shared by both schemes (``np.unique`` over
+integer ``(parent, frame)`` keys — no Python recursion), then one batched
+label kernel per *distinct contributor combination* — a single span-limited
+``|=`` pass per source tree (dense) or one zero-filled slice-assignment
+pass per source tree (hierarchical), k-way instead of pairwise, with no
+per-node allocation.  Legacy :class:`~repro.core.prefix_tree.PrefixTree`
+inputs are converted at the boundary and converted back on return, so the
+object API is unchanged.  The pre-vectorization recursive kernels are
+retained in :mod:`repro.perf.reference` and the equivalence property tests
+assert bit-identical trees between old and new on randomized inputs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.frames import Frame
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
 from repro.core.taskset import (
     DaemonLayout,
@@ -33,6 +45,13 @@ from repro.core.taskset import (
     RankRemapper,
     TaskMap,
 )
+from repro.core.treearrays import (
+    KIND_DENSE,
+    KIND_HIER,
+    TreeArrays,
+    merge_structure,
+)
+from repro.perf.counters import PERF
 
 __all__ = [
     "LabelScheme",
@@ -42,13 +61,19 @@ __all__ = [
     "merge_trees",
 ]
 
+MergeableTree = Union[PrefixTree, TreeArrays]
 
-def tree_layout(tree: PrefixTree) -> DaemonLayout:
+
+def tree_layout(tree: MergeableTree) -> DaemonLayout:
     """The (shared) layout of a hierarchical-labelled tree's edge labels.
 
     By construction every label in a daemon's or CP's tree shares one
-    layout; we read it off the first edge.
+    layout; we read it off the first edge (or the arrays' metadata).
     """
+    if isinstance(tree, TreeArrays):
+        if tree.kind != KIND_HIER or tree.layout is None:
+            raise TypeError("tree does not carry hierarchical labels")
+        return tree.layout
     for _, label in tree.edges():
         if not isinstance(label, HierarchicalTaskSet):
             raise TypeError("tree does not carry hierarchical labels")
@@ -56,14 +81,18 @@ def tree_layout(tree: PrefixTree) -> DaemonLayout:
     raise ValueError("cannot determine layout of an empty tree")
 
 
-def _ordered_frame_union(nodes: Sequence[PrefixTreeNode]) -> List[Frame]:
-    """Union of children frames, preserving first-seen order."""
-    seen: Dict[Frame, None] = {}
-    for node in nodes:
-        for frame in node.children:
-            if frame not in seen:
-                seen[frame] = None
-    return list(seen)
+def _flat_pairs(groups: Sequence[Tuple[np.ndarray, np.ndarray]]
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten contributor groups into ``(group, tree, label row)`` arrays.
+
+    One row per contribution of one source tree to one distinct output
+    label — the unit the batched label kernels scatter over.
+    """
+    sizes = np.asarray([g[0].size for g in groups], dtype=np.int64)
+    grp = np.repeat(np.arange(len(groups), dtype=np.int64), sizes)
+    tree = np.concatenate([g[0] for g in groups])
+    row = np.concatenate([g[1] for g in groups])
+    return grp, tree, row
 
 
 class LabelScheme:
@@ -71,23 +100,58 @@ class LabelScheme:
 
     #: short identifier used in benchmark output rows
     name = "abstract"
+    #: array-backed tree kind ("dense" / "hier")
+    kind = KIND_DENSE
 
     def daemon_label(self, daemon_id: int, local_width: int,
                      slots: Sequence[int], task_map: TaskMap) -> Any:
         """Label for a leaf (daemon-level) edge covering ``slots``."""
         raise NotImplementedError
 
-    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
-        """Merge locally rooted trees into one (the TBO̅N filter body)."""
+    def leaf_span(self, daemon_id: int, slots: Sequence[int],
+                  task_map: TaskMap) -> Tuple[int, int]:
+        """Byte range of a leaf label's set bits (dense kernels only)."""
         raise NotImplementedError
 
-    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
+    def merge(self, trees: Sequence[MergeableTree]) -> MergeableTree:
+        """Merge locally rooted trees into one (the TBO̅N filter body).
+
+        Array-backed inputs merge on the vectorized fast path and return
+        :class:`TreeArrays`; :class:`PrefixTree` inputs are converted in
+        and out, preserving the historical object API.
+        """
+        raise NotImplementedError
+
+    def merge_arrays(self, trees: Sequence[TreeArrays]) -> TreeArrays:
+        """The vectorized k-way kernel proper (arrays in, arrays out)."""
+        raise NotImplementedError
+
+    def finalize(self, root_tree: MergeableTree,
+                 task_map: TaskMap) -> PrefixTree:
         """Front-end post-processing to a rank-ordered, dense-labelled tree."""
         raise NotImplementedError
 
     def make_empty_tree(self) -> PrefixTree:
         """A tree wired with this scheme's union/copy operations."""
         return PrefixTree()
+
+    def _to_arrays(self, tree: MergeableTree) -> TreeArrays:
+        if isinstance(tree, TreeArrays):
+            return tree
+        return TreeArrays.from_prefix_tree(tree, kind=self.kind)
+
+    def _merge_dispatch(self, trees: Sequence[MergeableTree]) -> MergeableTree:
+        """Shared merge entry: convert at the boundary, count, time."""
+        arrays_in = all(isinstance(t, TreeArrays) for t in trees)
+        arrs = trees if arrays_in else [self._to_arrays(t) for t in trees]
+        PERF.add("merge.calls")
+        PERF.add("merge.trees_in", len(arrs))
+        with PERF.timer("merge.kernel_seconds"):
+            out = self.merge_arrays(arrs)
+        PERF.add("merge.nodes_out", out.node_count())
+        PERF.add("merge.label_groups", out.labels.shape[0])
+        PERF.add("merge.label_bytes_out", out.labels.nbytes)
+        return out if arrays_in else out.to_prefix_tree()
 
 
 class DenseLabelScheme(LabelScheme):
@@ -99,6 +163,7 @@ class DenseLabelScheme(LabelScheme):
     """
 
     name = "original"
+    kind = KIND_DENSE
 
     def __init__(self, total_tasks: int) -> None:
         if total_tasks <= 0:
@@ -112,26 +177,106 @@ class DenseLabelScheme(LabelScheme):
             if len(slots) else np.zeros(0, dtype=np.int64)
         return DenseBitVector.from_ranks(ranks, self.total_tasks)
 
-    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
-        """Recursive structure merge; label merge is bitwise OR."""
-        out = self.make_empty_tree()
+    def leaf_span(self, daemon_id: int, slots: Sequence[int],
+                  task_map: TaskMap) -> Tuple[int, int]:
+        """Byte range of a leaf label's set bits within the job width."""
+        if not len(slots):
+            return (0, 0)
+        ranks = task_map.ranks_of(daemon_id)[np.asarray(list(slots),
+                                                        dtype=np.int64)]
+        return (int(ranks.min()) >> 3, (int(ranks.max()) >> 3) + 1)
 
-        def rec(dst: PrefixTreeNode, srcs: List[PrefixTreeNode]) -> None:
-            for frame in _ordered_frame_union(srcs):
-                contributors = [n.children[frame] for n in srcs
-                                if frame in n.children]
-                label = contributors[0].tasks.copy()
-                for other in contributors[1:]:
-                    label.union_inplace(other.tasks)
-                node = PrefixTreeNode(frame, label)
-                dst.children[frame] = node
-                rec(node, contributors)
+    def merge(self, trees: Sequence[MergeableTree]) -> MergeableTree:
+        """K-way structure merge; label merge is one batched OR per tree."""
+        if not trees:
+            return self.make_empty_tree()
+        return self._merge_dispatch(trees)
 
-        rec(out.root, [t.root for t in trees])
-        return out
+    #: largest gather/scatter index matrix (elements) the overlapping-span
+    #: fast path may build before degrading to the per-tree loop
+    _SCATTER_LIMIT = 1 << 22
 
-    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
-        """Dense labels are already global and rank-ordered: identity."""
+    def merge_arrays(self, trees: Sequence[TreeArrays]) -> TreeArrays:
+        width = self.total_tasks
+        nbytes = (width + 7) // 8
+        for t in trees:
+            if t.width is not None and t.width != width:
+                raise ValueError(
+                    f"width mismatch: {width} vs {t.width} (the original "
+                    "representation requires global agreement on job size)")
+        frame_ids, parents, level_offsets, group_refs, groups = \
+            merge_structure(trees)
+        n_groups = len(groups)
+        out = np.zeros((n_groups, nbytes), dtype=np.uint8)
+        if not n_groups:
+            return TreeArrays(KIND_DENSE, frame_ids, parents, group_refs,
+                              level_offsets, out, width=width)
+
+        grp, tre, row = _flat_pairs(groups)
+        k = len(trees)
+        lo_t = np.empty(k, dtype=np.int64)
+        hi_t = np.empty(k, dtype=np.int64)
+        for i, t in enumerate(trees):
+            lo_t[i], hi_t[i] = t.overall_span()
+        w_t = hi_t - lo_t
+
+        # Contributors from different subtrees usually carry bits in
+        # disjoint byte ranges (the hierarchical insight, exploited inside
+        # the dense kernel): when every tree's span is pairwise disjoint,
+        # scatter is plain assignment into the zero-filled output.
+        nz = np.nonzero(w_t)[0]
+        span_order = nz[np.argsort(lo_t[nz], kind="stable")]
+        disjoint = bool(np.all(hi_t[span_order][:-1]
+                               <= lo_t[span_order][1:])) \
+            if span_order.size > 1 else True
+
+        out_flat = out.reshape(-1)
+        for w in np.unique(w_t[tre]).tolist():
+            if w == 0:
+                continue
+            bucket = np.nonzero(w_t == w)[0]
+            mask = w_t[tre] == w
+            grp_b, tre_b, row_b = grp[mask], tre[mask], row[mask]
+            if disjoint and grp_b.size * w <= self._SCATTER_LIMIT:
+                # Compact matrix of just the span bytes of every distinct
+                # label row in this bucket, then one gather + one scatter.
+                comp = np.concatenate(
+                    [trees[i].labels[:, lo_t[i]:hi_t[i]]
+                     for i in bucket.tolist()]) \
+                    if bucket.size else np.zeros((0, w), dtype=np.uint8)
+                roff = np.zeros(k, dtype=np.int64)
+                counts = np.asarray(
+                    [trees[i].labels.shape[0] for i in bucket.tolist()],
+                    dtype=np.int64)
+                roff[bucket] = np.concatenate(
+                    ([0], np.cumsum(counts)))[:-1]
+                values = comp[roff[tre_b] + row_b]
+                starts = grp_b * nbytes + lo_t[tre_b]
+                out_flat[starts[:, None]
+                         + np.arange(w, dtype=np.int64)] = values
+            else:
+                # Overlapping spans (e.g. cyclic rank maps) or oversized
+                # scatter: batched OR per source tree.
+                for i in np.unique(tre_b).tolist():
+                    sel = tre_b == i
+                    lo, hi = int(lo_t[i]), int(hi_t[i])
+                    out[grp_b[sel], lo:hi] |= \
+                        trees[i].labels[row_b[sel], lo:hi]
+
+        span_lo = np.full(n_groups, nbytes, dtype=np.int64)
+        span_hi = np.zeros(n_groups, dtype=np.int64)
+        np.minimum.at(span_lo, grp, lo_t[tre])
+        np.maximum.at(span_hi, grp, hi_t[tre])
+        spans = np.stack((np.minimum(span_lo, span_hi), span_hi), axis=1)
+        return TreeArrays(KIND_DENSE, frame_ids, parents, group_refs,
+                          level_offsets, out, spans=spans, width=width)
+
+    def finalize(self, root_tree: MergeableTree,
+                 task_map: TaskMap) -> PrefixTree:
+        """Dense labels are already global and rank-ordered: identity
+        (array-backed trees are materialized to the object view)."""
+        if isinstance(root_tree, TreeArrays):
+            return root_tree.to_prefix_tree()
         return root_tree
 
 
@@ -143,41 +288,65 @@ class HierarchicalLabelScheme(LabelScheme):
     """
 
     name = "optimized"
+    kind = KIND_HIER
 
     def daemon_label(self, daemon_id: int, local_width: int,
                      slots: Sequence[int], task_map: TaskMap) -> HierarchicalTaskSet:
         """Subtree-local leaf label over the daemon's own slots."""
         return HierarchicalTaskSet.for_daemon(daemon_id, local_width, slots)
 
-    def merge(self, trees: Sequence[PrefixTree]) -> PrefixTree:
+    def merge(self, trees: Sequence[MergeableTree]) -> MergeableTree:
         """Concatenation merge across disjoint child subtrees."""
         if not trees:
             raise ValueError("merge of zero trees")
-        layouts = [tree_layout(t) for t in trees]
+        return self._merge_dispatch(trees)
+
+    def merge_arrays(self, trees: Sequence[TreeArrays]) -> TreeArrays:
+        if not trees:
+            raise ValueError("merge of zero trees")
+        layouts = []
+        for t in trees:
+            if t.layout is None:
+                raise ValueError("cannot determine layout of an empty tree")
+            layouts.append(t.layout)
         merged_layout = DaemonLayout.concat(layouts)
-        offsets = np.concatenate(
-            ([0], np.cumsum([lay.nbytes for lay in layouts])))[:-1]
+        nb_t = np.asarray([lay.nbytes for lay in layouts], dtype=np.int64)
+        off_t = np.concatenate(([0], np.cumsum(nb_t)))[:-1]
+        frame_ids, parents, level_offsets, group_refs, groups = \
+            merge_structure(trees)
+        n_groups = len(groups)
+        merged_nbytes = merged_layout.nbytes
+        out = np.zeros((n_groups, merged_nbytes), dtype=np.uint8)
+        if not n_groups:
+            return TreeArrays(KIND_HIER, frame_ids, parents, group_refs,
+                              level_offsets, out, layout=merged_layout)
 
-        out = self.make_empty_tree()
+        grp, tre, row = _flat_pairs(groups)
+        k = len(trees)
+        out_flat = out.reshape(-1)
+        # Chunk byte ranges are disjoint by construction, so each bucket of
+        # equal-size chunks is one gather from a compact matrix plus one
+        # linear-index scatter — the zero fringe is never touched.
+        for nb in np.unique(nb_t[tre]).tolist():
+            if nb == 0:
+                continue
+            bucket = np.nonzero(nb_t == nb)[0]
+            mask = nb_t[tre] == nb
+            grp_b, tre_b, row_b = grp[mask], tre[mask], row[mask]
+            comp = np.concatenate([trees[i].labels for i in bucket.tolist()])
+            roff = np.zeros(k, dtype=np.int64)
+            counts = np.asarray(
+                [trees[i].labels.shape[0] for i in bucket.tolist()],
+                dtype=np.int64)
+            roff[bucket] = np.concatenate(([0], np.cumsum(counts)))[:-1]
+            values = comp[roff[tre_b] + row_b]
+            starts = grp_b * merged_nbytes + off_t[tre_b]
+            out_flat[starts[:, None] + np.arange(nb, dtype=np.int64)] = values
+        return TreeArrays(KIND_HIER, frame_ids, parents, group_refs,
+                          level_offsets, out, layout=merged_layout)
 
-        def rec(dst: PrefixTreeNode,
-                srcs: List[Tuple[int, PrefixTreeNode]]) -> None:
-            for frame in _ordered_frame_union([n for _, n in srcs]):
-                contributors = [(i, n.children[frame]) for i, n in srcs
-                                if frame in n.children]
-                data = np.zeros(merged_layout.nbytes, dtype=np.uint8)
-                for i, node in contributors:
-                    off = int(offsets[i])
-                    data[off:off + layouts[i].nbytes] = node.tasks.data
-                child = PrefixTreeNode(
-                    frame, HierarchicalTaskSet(merged_layout, data))
-                dst.children[frame] = child
-                rec(child, contributors)
-
-        rec(out.root, list(enumerate(t.root for t in trees)))
-        return out
-
-    def finalize(self, root_tree: PrefixTree, task_map: TaskMap) -> PrefixTree:
+    def finalize(self, root_tree: MergeableTree,
+                 task_map: TaskMap) -> PrefixTree:
         """The front-end **remap** (Section V-C; 0.66 s at 208K tasks).
 
         Rearranges every concatenation-ordered label into MPI rank order,
@@ -186,6 +355,8 @@ class HierarchicalLabelScheme(LabelScheme):
         """
         layout = tree_layout(root_tree)
         remapper = RankRemapper(layout, task_map)
+        if isinstance(root_tree, TreeArrays):
+            root_tree = root_tree.to_prefix_tree()
         out = PrefixTree()
 
         def rec(dst: PrefixTreeNode, src: PrefixTreeNode) -> None:
@@ -199,8 +370,18 @@ class HierarchicalLabelScheme(LabelScheme):
 
 
 def merge_trees(scheme: LabelScheme,
-                trees: Sequence[PrefixTree]) -> PrefixTree:
-    """Convenience wrapper: ``scheme.merge(trees)`` with a 1-tree fast path."""
+                trees: Sequence[MergeableTree]) -> MergeableTree:
+    """Convenience wrapper: ``scheme.merge(trees)`` with a 1-tree fast path.
+
+    The fast path returns an independent **copy**: returning the input by
+    reference let downstream label mutation corrupt the caller's tree.
+    """
     if len(trees) == 1:
-        return trees[0]
+        tree = trees[0]
+        if isinstance(tree, TreeArrays):
+            return TreeArrays(tree.kind, tree.frame_ids, tree.parents,
+                              tree.label_refs, tree.level_offsets,
+                              tree.labels.copy(), spans=tree.spans,
+                              width=tree.width, layout=tree.layout)
+        return tree.copy()
     return scheme.merge(trees)

@@ -88,6 +88,19 @@ class PrefixTree:
         self.root = PrefixTreeNode(ROOT_FRAME)
         self._label_union = label_union or _default_label_union
         self._label_copy = label_copy or _default_label_copy
+        self._node_count: Optional[int] = None
+        self._serialized_bytes: Optional[int] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop cached statistics after direct structural mutation.
+
+        :meth:`insert` / :meth:`insert_many` call this automatically;
+        code that builds trees by assigning into ``node.children``
+        (the merge kernels, the codec) must call it once done — or simply
+        never query statistics before construction finishes.
+        """
+        self._node_count = None
+        self._serialized_bytes = None
 
     # -- construction ------------------------------------------------------
     def insert(self, trace: StackTrace, label: Any) -> None:
@@ -96,6 +109,7 @@ class PrefixTree:
         The label is unioned into every edge along the path.  The label
         object is copied on first placement so callers may reuse it.
         """
+        self.invalidate_caches()
         node = self.root
         for frame in trace:
             child = node.children.get(frame)
@@ -107,22 +121,81 @@ class PrefixTree:
             node = child
 
     def insert_many(self, pairs: List[Tuple[StackTrace, Any]]) -> None:
-        """Bulk :meth:`insert`."""
+        """Bulk :meth:`insert`, sorted by interned-id prefix.
+
+        Sorting brings traces sharing a prefix together, so the walk from
+        the root is re-entered only where consecutive traces diverge —
+        one dict lookup per *divergent* frame instead of per frame.
+        Labels are unioned along every edge exactly as :meth:`insert`
+        does, and unions are commutative, so the resulting tree is
+        identical to sequential insertion; only the child *insertion
+        order* follows the sorted order.
+        """
+        if not pairs:
+            return
+        self.invalidate_caches()
+        pairs = sorted(pairs, key=lambda p: p[0].frame_ids())
+        union = self._label_union
+        copy = self._label_copy
+        # stack[d] is the node reached after d frames of the previous trace.
+        stack: List[PrefixTreeNode] = [self.root]
+        prev: Tuple[Frame, ...] = ()
         for trace, label in pairs:
-            self.insert(trace, label)
+            frames = trace.frames
+            shared = 0
+            limit = min(len(prev), len(frames))
+            while shared < limit and prev[shared] is frames[shared]:
+                shared += 1
+            del stack[shared + 1:]
+            # Union into the still-shared prefix edges...
+            for d in range(shared):
+                node = stack[d + 1]
+                node.tasks = union(node.tasks, label)
+            # ...then extend along the divergent suffix.
+            node = stack[shared]
+            for frame in frames[shared:]:
+                child = node.children.get(frame)
+                if child is None:
+                    child = PrefixTreeNode(frame, copy(label))
+                    node.children[frame] = child
+                else:
+                    child.tasks = union(child.tasks, label)
+                stack.append(child)
+                node = child
+            prev = frames
 
     # -- traversal -------------------------------------------------------
     def walk(self) -> Iterator[Tuple[StackTrace, PrefixTreeNode]]:
-        """Preorder traversal yielding ``(path, node)`` below the root."""
-        stack: List[Tuple[Tuple[Frame, ...], PrefixTreeNode]] = [
-            ((), self.root)]
-        while stack:
-            path, node = stack.pop()
-            for frame, child in reversed(list(node.children.items())):
-                child_path = path + (frame,)
-                stack.append((child_path, child))
-            if path:
-                yield StackTrace(path), node
+        """Preorder traversal yielding ``(path, node)`` below the root.
+
+        Traversal keeps one shared mutable path and a stack of child-dict
+        iterators — no per-node list/tuple copies (the per-yield
+        :class:`StackTrace` is the only allocation, and it is part of the
+        return contract).
+        """
+        path: List[Frame] = []
+        iters = [iter(self.root.children.values())]
+        while iters:
+            node = next(iters[-1], None)
+            if node is None:
+                iters.pop()
+                if path:
+                    path.pop()
+                continue
+            path.append(node.frame)
+            yield StackTrace(tuple(path)), node
+            iters.append(iter(node.children.values()))
+
+    def _nodes(self) -> Iterator[PrefixTreeNode]:
+        """Path-free preorder node traversal (statistics hot path)."""
+        iters = [iter(self.root.children.values())]
+        while iters:
+            node = next(iters[-1], None)
+            if node is None:
+                iters.pop()
+                continue
+            yield node
+            iters.append(iter(node.children.values()))
 
     def edges(self) -> Iterator[Tuple[StackTrace, Any]]:
         """All ``(path, edge label)`` pairs."""
@@ -145,14 +218,27 @@ class PrefixTree:
 
     # -- statistics -------------------------------------------------------
     def node_count(self) -> int:
-        """Number of non-root nodes."""
-        return sum(1 for _ in self.walk())
+        """Number of non-root nodes (cached; insert invalidates)."""
+        count = self._node_count
+        if count is None:
+            count = self._node_count = sum(1 for _ in self._nodes())
+        return count
 
     def depth(self) -> int:
         """Longest path length (root excluded)."""
         best = 0
-        for path, _ in self.walk():
-            best = max(best, len(path))
+        depth = 0
+        iters = [iter(self.root.children.values())]
+        while iters:
+            node = next(iters[-1], None)
+            if node is None:
+                iters.pop()
+                depth -= 1
+                continue
+            depth += 1
+            if depth > best:
+                best = depth
+            iters.append(iter(node.children.values()))
         return best
 
     def serialized_bytes(self) -> int:
@@ -160,11 +246,15 @@ class PrefixTree:
 
         This is the quantity the TBO̅N timing model charges to links; it is
         what actually differs between the two label representations.
+        Cached; insert invalidates.
         """
-        total = 8  # tree header
-        for path, node in self.walk():
-            total += node.frame.serialized_bytes() + 8  # child count + id
-            total += node.tasks.serialized_bytes()
+        total = self._serialized_bytes
+        if total is None:
+            total = 8  # tree header
+            for node in self._nodes():
+                total += node.frame.serialized_bytes() + 8  # child count + id
+                total += node.tasks.serialized_bytes()
+            self._serialized_bytes = total
         return total
 
     # -- truncation --------------------------------------------------------

@@ -14,6 +14,12 @@ modeled faithfully:
 * before the first walk, the symbol tables of the target binary and its
   shared libraries must be read — from whatever file system they live on
   (the Section VI bottleneck, charged by :mod:`repro.core.sampling`).
+
+Walk results are built from **interned** frames
+(:mod:`repro.core.interning`): platform stack models memoize whole
+traces and every frame is a canonical object with a cached hash, so the
+millions of per-walk trace-grouping dictionary operations in
+full-machine emulation compare pointers instead of re-hashing strings.
 """
 
 from __future__ import annotations

@@ -323,17 +323,22 @@ class DaemonLayout:
     def __init__(self, daemon_ids: Sequence[int], widths: Sequence[int]) -> None:
         if len(daemon_ids) != len(widths):
             raise ValueError("daemon_ids and widths must have equal length")
-        self.daemon_ids: Tuple[int, ...] = tuple(int(d) for d in daemon_ids)
+        # Vectorized construction: merges concatenate thousands of
+        # single-chunk layouts, so per-element Python conversion is a
+        # measurable slice of the k-way kernel.
+        ids_arr = np.asarray(daemon_ids, dtype=np.int64)
+        widths_arr = np.asarray(widths, dtype=np.int64)
+        self.daemon_ids: Tuple[int, ...] = tuple(ids_arr.tolist())
         if len(set(self.daemon_ids)) != len(self.daemon_ids):
             raise ValueError("duplicate daemon id in layout")
-        self.widths: Tuple[int, ...] = tuple(int(w) for w in widths)
-        if any(w < 0 for w in self.widths):
+        self.widths: Tuple[int, ...] = tuple(widths_arr.tolist())
+        if widths_arr.size and int(widths_arr.min()) < 0:
             raise ValueError("negative chunk width")
-        sizes = np.array([_packed_nbytes(w) for w in self.widths], dtype=np.int64)
+        sizes = (widths_arr + 7) >> 3
         self.byte_sizes = sizes
         self.byte_offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
         self.nbytes = int(sizes.sum())
-        self.total_tasks = int(sum(self.widths))
+        self.total_tasks = int(widths_arr.sum())
         self._key = (self.daemon_ids, self.widths)
 
     @classmethod
@@ -344,6 +349,8 @@ class DaemonLayout:
     @classmethod
     def concat(cls, layouts: Sequence["DaemonLayout"]) -> "DaemonLayout":
         """Layout covering the children's chunks in order — the merge step."""
+        if len(layouts) == 1:
+            return layouts[0]
         ids: List[int] = []
         widths: List[int] = []
         for layout in layouts:

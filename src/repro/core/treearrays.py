@@ -1,0 +1,424 @@
+"""Array-backed prefix trees: the merge hot path's data representation.
+
+A :class:`TreeArrays` stores one call-graph prefix tree as flat NumPy
+arrays instead of linked :class:`~repro.core.prefix_tree.PrefixTreeNode`
+objects:
+
+* ``frame_ids[n]`` — interned frame id per node, in BFS (level) order,
+  each level in first-seen order (matching object-tree insertion order);
+* ``parents[n]`` — index of the parent *node* in the same array
+  (``-1`` for depth-1 nodes, whose parent is the artificial root);
+* ``label_refs[n]`` — row into ``labels`` for the node's edge label;
+* ``labels[d, nbytes]`` — the **distinct** packed label rows.  Nodes
+  sharing a label object (common along call chains, where every edge
+  carries the same task set) share one row, which is what lets the
+  k-way merge kernels compute each distinct contributor combination
+  exactly once;
+* ``spans[d, 2]`` — optional per-row ``(lo, hi)`` byte range containing
+  every set bit (dense labels only).  Daemon-local labels touch a few
+  bytes of a job-width vector; span-limited kernels skip the zero fringe
+  without changing what is *represented* (wire sizes are unchanged).
+
+The object view is still available: :meth:`to_prefix_tree` materializes a
+:class:`~repro.core.prefix_tree.PrefixTree` (cached), and the common read
+API (``walk``/``edges``/``leaf_paths``/``find``/``structurally_equal``)
+delegates to it, so array-backed payloads flow through existing code.
+
+Interned frame ids are process-local, so pickling translates ids to
+``(function, module)`` pairs and re-interns on load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.frames import Frame, StackTrace
+from repro.core.interning import FRAMES
+from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.core.taskset import (
+    CHUNK_HEADER_BITS,
+    DaemonLayout,
+    DenseBitVector,
+    HierarchicalTaskSet,
+)
+
+__all__ = ["TreeArrays", "merge_structure", "KIND_DENSE", "KIND_HIER"]
+
+KIND_DENSE = "dense"
+KIND_HIER = "hier"
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+
+
+class TreeArrays:
+    """One prefix tree, flattened to arrays with deduplicated labels."""
+
+    __slots__ = ("kind", "frame_ids", "parents", "label_refs",
+                 "level_offsets", "labels", "spans", "width", "layout",
+                 "_prefix", "_levels", "_ospan", "_bundle")
+
+    def __init__(self, kind: str,
+                 frame_ids: np.ndarray,
+                 parents: np.ndarray,
+                 label_refs: np.ndarray,
+                 level_offsets: np.ndarray,
+                 labels: np.ndarray,
+                 spans: Optional[np.ndarray] = None,
+                 width: Optional[int] = None,
+                 layout: Optional[DaemonLayout] = None) -> None:
+        if kind not in (KIND_DENSE, KIND_HIER):
+            raise ValueError(f"unknown tree kind {kind!r}")
+        if kind == KIND_HIER and layout is None:
+            raise ValueError("hierarchical tree arrays need a layout")
+        self.kind = kind
+        self.frame_ids = np.asarray(frame_ids, dtype=np.int64)
+        self.parents = np.asarray(parents, dtype=np.int64)
+        self.label_refs = np.asarray(label_refs, dtype=np.int64)
+        self.level_offsets = np.asarray(level_offsets, dtype=np.int64)
+        self.labels = np.asarray(labels, dtype=np.uint8)
+        if self.labels.ndim != 2:
+            raise ValueError("labels must be a 2-D uint8 matrix")
+        self.spans = None if spans is None \
+            else np.asarray(spans, dtype=np.int64)
+        self.width = None if width is None else int(width)
+        self.layout = layout
+        self._prefix: Optional[PrefixTree] = None
+        self._levels: Optional[np.ndarray] = None
+        self._ospan: Optional[Tuple[int, int]] = None
+        self._bundle: Optional[np.ndarray] = None
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def empty(cls, kind: str, width: Optional[int] = None,
+              layout: Optional[DaemonLayout] = None) -> "TreeArrays":
+        """A zero-node tree (nbytes derived from width/layout)."""
+        if kind == KIND_HIER:
+            nbytes = layout.nbytes if layout is not None else 0
+        else:
+            nbytes = 0 if width is None else (width + 7) // 8
+        return cls(kind, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64,
+                   np.zeros(1, dtype=np.int64),
+                   np.zeros((0, nbytes), dtype=np.uint8),
+                   width=width, layout=layout)
+
+    @classmethod
+    def from_prefix_tree(cls, tree: PrefixTree,
+                         kind: Optional[str] = None,
+                         width: Optional[int] = None,
+                         layout: Optional[DaemonLayout] = None) -> "TreeArrays":
+        """Flatten an object tree (labels deduplicated by object identity)."""
+        frame_ids: List[int] = []
+        parents: List[int] = []
+        label_refs: List[int] = []
+        level_offsets = [0]
+        rows: List[np.ndarray] = []
+        row_of: dict = {}
+
+        level: List[Tuple[int, PrefixTreeNode]] = \
+            [(-1, child) for child in tree.root.children.values()]
+        first_label: Any = None
+        while level:
+            nxt: List[Tuple[int, PrefixTreeNode]] = []
+            for parent_gid, node in level:
+                gid = len(frame_ids)
+                frame_ids.append(node.frame.id)
+                parents.append(parent_gid)
+                label = node.tasks
+                if first_label is None:
+                    first_label = label
+                ref = row_of.get(id(label))
+                if ref is None:
+                    ref = row_of[id(label)] = len(rows)
+                    rows.append(label.data)
+                label_refs.append(ref)
+                for child in node.children.values():
+                    nxt.append((gid, child))
+            level_offsets.append(len(frame_ids))
+            level = nxt
+
+        if kind is None:
+            if isinstance(first_label, DenseBitVector):
+                kind = KIND_DENSE
+            elif isinstance(first_label, HierarchicalTaskSet):
+                kind = KIND_HIER
+            elif first_label is None:
+                kind = KIND_DENSE
+            else:
+                raise TypeError(
+                    f"unsupported label type {type(first_label).__name__}")
+        if kind == KIND_DENSE and width is None and first_label is not None:
+            width = first_label.width
+        if kind == KIND_HIER and layout is None:
+            if first_label is None:
+                raise ValueError("cannot determine layout of an empty tree")
+            layout = first_label.layout
+
+        if kind == KIND_HIER:
+            nbytes = layout.nbytes
+        else:
+            nbytes = 0 if width is None else (width + 7) // 8
+        labels = np.stack(rows) if rows \
+            else np.zeros((0, nbytes), dtype=np.uint8)
+        return cls(kind, np.asarray(frame_ids, dtype=np.int64),
+                   np.asarray(parents, dtype=np.int64),
+                   np.asarray(label_refs, dtype=np.int64),
+                   np.asarray(level_offsets, dtype=np.int64),
+                   labels, width=width, layout=layout)
+
+    # -- object view -------------------------------------------------------
+    def make_label(self, row: int) -> Any:
+        """A label object over row ``row`` (shares the row's storage)."""
+        if self.kind == KIND_DENSE:
+            width = self.width if self.width is not None \
+                else self.labels.shape[1] * 8
+            return DenseBitVector(width, self.labels[row])
+        return HierarchicalTaskSet(self.layout, self.labels[row])
+
+    def to_prefix_tree(self) -> PrefixTree:
+        """Materialize the object view (fresh tree; label rows shared).
+
+        Nodes on call chains share one label *object* (they carried the
+        same task set), so treat the returned tree's labels as
+        immutable — use ``tree.copy()`` before in-place label surgery.
+        """
+        tree = PrefixTree()
+        label_objs = [self.make_label(j) for j in range(len(self.labels))]
+        nodes: List[PrefixTreeNode] = []
+        root = tree.root
+        frames = FRAMES.frames_of(self.frame_ids)
+        parents = self.parents
+        refs = self.label_refs
+        for i, frame in enumerate(frames):
+            node = PrefixTreeNode(frame, label_objs[refs[i]])
+            parent = root if parents[i] < 0 else nodes[parents[i]]
+            parent.children[frame] = node
+            nodes.append(node)
+        return tree
+
+    def _prefix_view(self) -> PrefixTree:
+        view = self._prefix
+        if view is None:
+            view = self._prefix = self.to_prefix_tree()
+        return view
+
+    # Read API shared with PrefixTree (delegates to the cached object view;
+    # the hot paths below never touch it).
+    def walk(self) -> Iterator[Tuple[StackTrace, PrefixTreeNode]]:
+        """Preorder ``(path, node)`` traversal of the object view."""
+        return self._prefix_view().walk()
+
+    def edges(self):
+        """All ``(path, edge label)`` pairs."""
+        return self._prefix_view().edges()
+
+    def leaf_paths(self):
+        """``(path, label)`` for every leaf."""
+        return self._prefix_view().leaf_paths()
+
+    def find(self, path: StackTrace):
+        """Node at exactly ``path``, or None."""
+        return self._prefix_view().find(path)
+
+    def structurally_equal(self, other) -> bool:
+        """Same shape and equal labels everywhere (order-insensitive)."""
+        if isinstance(other, TreeArrays):
+            other = other._prefix_view()
+        return self._prefix_view().structurally_equal(other)
+
+    # -- statistics (array-native: no object tree required) ---------------
+    def node_count(self) -> int:
+        """Number of non-root nodes."""
+        return int(self.frame_ids.size)
+
+    def depth(self) -> int:
+        """Longest path length (root excluded)."""
+        return int(self.level_offsets.size - 1) if self.frame_ids.size else 0
+
+    def node_levels(self) -> np.ndarray:
+        """Level index per node (cached)."""
+        levels = self._levels
+        if levels is None:
+            counts = np.diff(self.level_offsets)
+            levels = self._levels = np.repeat(
+                np.arange(counts.size, dtype=np.int64), counts)
+        return levels
+
+    def bundle(self) -> np.ndarray:
+        """``(4, n)`` stack of frame ids, parents, label refs, levels.
+
+        Cached; lets the k-way structure merge concatenate all per-node
+        metadata of thousands of trees with a single C-level call.
+        """
+        b = self._bundle
+        if b is None:
+            b = self._bundle = np.empty((4, self.frame_ids.size),
+                                        dtype=np.int64)
+            b[0] = self.frame_ids
+            b[1] = self.parents
+            b[2] = self.label_refs
+            b[3] = self.node_levels()
+        return b
+
+    def overall_span(self) -> Tuple[int, int]:
+        """Byte range containing every set bit of every label (cached).
+
+        Without per-row span metadata this is conservatively the whole
+        row; dense kernels use it to skip the zero fringe.
+        """
+        span = self._ospan
+        if span is None:
+            if self.spans is None:
+                span = (0, int(self.labels.shape[1]))
+            elif self.spans.size == 0:
+                span = (0, 0)
+            else:
+                span = (int(self.spans[:, 0].min()),
+                        int(self.spans[:, 1].max()))
+            self._ospan = span
+        return span
+
+    def label_serialized_bytes(self) -> int:
+        """Wire bytes of one edge label (identical for every edge)."""
+        if self.kind == KIND_DENSE:
+            width = self.width if self.width is not None else 0
+            return (width + 7) // 8
+        bits = self.layout.total_tasks + CHUNK_HEADER_BITS * len(self.layout)
+        return (bits + 7) // 8
+
+    def serialized_bytes(self) -> int:
+        """Wire-size model — exactly :meth:`PrefixTree.serialized_bytes`."""
+        n = self.node_count()
+        return (8 + 8 * n
+                + FRAMES.serialized_bytes_of(self.frame_ids)
+                + n * self.label_serialized_bytes())
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self):
+        uniq, inverse = np.unique(self.frame_ids, return_inverse=True)
+        table = [(f.function, f.module) for f in FRAMES.frames_of(uniq)]
+        return {
+            "kind": self.kind,
+            "frame_local": inverse.astype(np.int64),
+            "frame_table": table,
+            "parents": self.parents,
+            "label_refs": self.label_refs,
+            "level_offsets": self.level_offsets,
+            "labels": self.labels,
+            "spans": self.spans,
+            "width": self.width,
+            "layout": self.layout,
+        }
+
+    def __setstate__(self, state) -> None:
+        ids = np.asarray(
+            [Frame(fn, mod).id for fn, mod in state["frame_table"]],
+            dtype=np.int64)
+        frame_ids = ids[state["frame_local"]] if ids.size \
+            else _EMPTY_I64.copy()
+        self.__init__(state["kind"], frame_ids, state["parents"],
+                      state["label_refs"], state["level_offsets"],
+                      state["labels"], spans=state["spans"],
+                      width=state["width"], layout=state["layout"])
+
+    def __repr__(self) -> str:
+        return (f"<TreeArrays kind={self.kind} nodes={self.node_count()} "
+                f"labels={self.labels.shape[0]}x{self.labels.shape[1]}B>")
+
+
+def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+        List[Tuple[np.ndarray, np.ndarray]]]:
+    """Vectorized k-way level-order structure merge.
+
+    Matching paths share output nodes; per output level the matching is
+    one ``np.unique`` over ``(merged parent, frame id)`` integer keys —
+    no Python recursion and no per-node dictionary work.
+
+    Returns ``(frame_ids, parents, level_offsets, group_refs, groups)``
+    for the merged tree, where ``group_refs[i]`` indexes ``groups`` and
+    ``groups[g] = (tree_idx[], label_ref[])`` is one **distinct**
+    contributor combination.  Output nodes whose contributors carry
+    identical label rows — ubiquitous along call chains — share a group,
+    so the label kernels run once per combination instead of once per
+    node.
+    """
+    k = len(trees)
+    bundles = [t.bundle() for t in trees]
+    counts = np.asarray([b.shape[1] for b in bundles], dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return (_EMPTY_I64, _EMPTY_I64, np.zeros(1, dtype=np.int64),
+                _EMPTY_I64, [])
+    offsets = np.zeros(k, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+
+    frames_all, parents_local, label_refs, levels = \
+        np.concatenate(bundles, axis=1)
+    tree_idx = np.repeat(np.arange(k, dtype=np.int64), counts)
+    parents_global = np.where(parents_local >= 0,
+                              parents_local + offsets[tree_idx], -1)
+
+    order = np.argsort(levels, kind="stable")
+    n_levels = int(levels.max()) + 1
+    bounds = np.searchsorted(levels[order],
+                             np.arange(n_levels + 1, dtype=np.int64))
+
+    key_base = np.int64(len(FRAMES))
+    merged_of = np.empty(total, dtype=np.int64)
+    out_frames: List[np.ndarray] = []
+    out_parents: List[np.ndarray] = []
+    out_offsets = [0]
+    group_refs: List[int] = []
+    group_index: dict = {}
+    groups: List[Tuple[np.ndarray, np.ndarray]] = []
+    out_count = 0
+
+    for lvl in range(n_levels):
+        idx = order[bounds[lvl]:bounds[lvl + 1]]
+        frames_lvl = frames_all[idx]
+        if lvl == 0:
+            parent_merged = np.full(idx.size, -1, dtype=np.int64)
+            key = frames_lvl
+        else:
+            parent_merged = merged_of[parents_global[idx]]
+            key = (parent_merged + 1) * key_base + frames_lvl
+        uniq, first, inverse = np.unique(key, return_index=True,
+                                         return_inverse=True)
+        # np.unique sorts by key; re-rank groups by first occurrence so the
+        # merged children keep the object kernels' first-seen order.
+        seen_order = np.argsort(first, kind="stable")
+        rank = np.empty(uniq.size, dtype=np.int64)
+        rank[seen_order] = np.arange(uniq.size)
+        local = rank[inverse]
+        merged_of[idx] = out_count + local
+        rep = first[seen_order]
+        out_frames.append(frames_lvl[rep])
+        out_parents.append(parent_merged[rep])
+        out_count += int(uniq.size)
+        out_offsets.append(out_count)
+
+        # Contributor grouping: members of one merged node, in tree order.
+        member_order = np.argsort(local, kind="stable")
+        sorted_members = idx[member_order]
+        node_bounds = np.searchsorted(local[member_order],
+                                      np.arange(uniq.size + 1))
+        trees_sorted = tree_idx[sorted_members]
+        refs_sorted = label_refs[sorted_members]
+        for m in range(uniq.size):
+            lo, hi = node_bounds[m], node_bounds[m + 1]
+            pair_t = trees_sorted[lo:hi]
+            pair_r = refs_sorted[lo:hi]
+            ck = (pair_t.tobytes(), pair_r.tobytes())
+            gid = group_index.get(ck)
+            if gid is None:
+                gid = group_index[ck] = len(groups)
+                groups.append((pair_t, pair_r))
+            group_refs.append(gid)
+
+    return (np.concatenate(out_frames),
+            np.concatenate(out_parents),
+            np.asarray(out_offsets, dtype=np.int64),
+            np.asarray(group_refs, dtype=np.int64),
+            groups)

@@ -1,0 +1,77 @@
+"""Lightweight process-wide performance counters.
+
+The instrumented hot paths (merge kernels, TBO̅N reductions, pipeline
+phases) record *aggregate* values — a handful of dict updates per merge
+or reduction, never per node — so the counters are safe to leave on.
+
+Usage::
+
+    from repro.perf import PERF
+
+    PERF.add("merge.nodes_out", tree.node_count())
+    with PERF.timer("merge.kernel_seconds"):
+        ...kernel...
+
+    PERF.snapshot()   # {"counts": {...}, "seconds": {...}}
+    PERF.reset()
+
+Counters are wall-clock and byte/count accounting for the *simulator
+itself*; simulated time stays in the timing models.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+__all__ = ["PerfCounters", "PERF"]
+
+
+class PerfCounters:
+    """A named bag of monotonic counters and accumulated timers."""
+
+    __slots__ = ("counts", "seconds")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, float] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Accumulate ``value`` into counter ``name``."""
+        self.counts[name] = self.counts.get(name, 0) + value
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate already-measured wall seconds into timer ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating wall-clock seconds into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never touched)."""
+        return self.counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-ready copy of all counters and timers."""
+        return {"counts": dict(self.counts),
+                "seconds": dict(self.seconds)}
+
+    def reset(self) -> None:
+        """Zero everything (benchmarks isolate runs with this)."""
+        self.counts.clear()
+        self.seconds.clear()
+
+    def __repr__(self) -> str:
+        return (f"<PerfCounters counts={len(self.counts)} "
+                f"timers={len(self.seconds)}>")
+
+
+#: The process-wide instance the instrumented subsystems write to.
+PERF = PerfCounters()

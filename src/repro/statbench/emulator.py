@@ -30,11 +30,16 @@ class DaemonTrees:
     send its locally-merged 2D trace-space and 3D trace-space-time prefix
     trees through the MRNet tree" — both travel in one packet, so the wire
     size is the sum.
+
+    Trees may be :class:`~repro.core.prefix_tree.PrefixTree` or (on the
+    emulator hot path) :class:`~repro.core.treearrays.TreeArrays`; both
+    expose the same size/traversal API and merge through the same scheme
+    kernels.
     """
 
     __slots__ = ("tree_2d", "tree_3d")
 
-    def __init__(self, tree_2d: PrefixTree, tree_3d: PrefixTree) -> None:
+    def __init__(self, tree_2d, tree_3d) -> None:
         self.tree_2d = tree_2d
         self.tree_3d = tree_3d
 
@@ -56,6 +61,8 @@ class STATBenchEmulator:
                  num_samples: int = 10,
                  threads_per_process: int = 1,
                  seed: int = 208_000) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
         self.task_map = task_map
         self.scheme = scheme
         self.stack_model = stack_model
@@ -75,7 +82,8 @@ class STATBenchEmulator:
         daemon = STATDaemon(
             daemon_id, self.task_map, self.scheme, self.stack_model,
             rng=rng, threads_per_process=self.threads_per_process)
-        tree_2d, tree_3d = daemon.sample_many(self.state_of, self.num_samples)
+        daemon.collect_samples(self.state_of, self.num_samples)
+        tree_2d, tree_3d = daemon.trees_arrays()
         self.daemons_emulated += 1
         return DaemonTrees(tree_2d, tree_3d)
 

@@ -26,10 +26,12 @@ what makes full-scale 1,664-daemon runs feasible in-process.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.machine.base import MachineModel
+from repro.perf.counters import PERF
 from repro.tbon.topology import Role, Topology, TopologyNode
 
 __all__ = [
@@ -270,6 +272,7 @@ class TBONetwork:
             stats.filter_seconds += cpu
             return merged, max(ends) + cpu
 
+        wall_start = time.perf_counter()
         payload, t_done = visit(self.topology.root, 0)
         if payload is _DEAD:
             raise DaemonFailure(
@@ -277,6 +280,12 @@ class TBONetwork:
                 f"{self.topology.num_daemons})")
         stats.payload = payload
         stats.sim_time = t_done
+        # Aggregate perf accounting: one update per reduction, not per hop.
+        PERF.add("tbon.reductions")
+        PERF.add("tbon.bytes", stats.bytes_total)
+        PERF.add("tbon.messages", stats.messages)
+        PERF.add_seconds("tbon.reduce_wall_seconds",
+                         time.perf_counter() - wall_start)
         return stats
 
     # -- broadcast ---------------------------------------------------------

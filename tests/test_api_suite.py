@@ -57,6 +57,27 @@ class TestSuiteRun:
         assert outcome.total_seconds == pytest.approx(
             sum(outcome.timings.values()))
 
+    def test_pool_reused_across_runs(self):
+        suite = ScenarioSuite(specs_for([3, 4]))
+        try:
+            first = suite.run(max_workers=2)
+            pool = suite._pool
+            assert pool is not None
+            second = suite.run(max_workers=2)
+            assert suite._pool is pool  # same executor, no respawn
+            assert [o.ok for o in first] == [o.ok for o in second]
+            for a, b in zip(first, second):
+                assert a.timings == b.timings
+        finally:
+            suite.close()
+        assert suite._pool is None
+
+    def test_close_is_idempotent_and_context_manager(self):
+        with ScenarioSuite(specs_for([3])) as suite:
+            report = suite.run(parallel=False)
+            assert report.outcomes[0].ok
+        suite.close()  # second close: no-op
+
     def test_empty_suite_rejected(self):
         with pytest.raises(ValueError):
             ScenarioSuite([])

@@ -40,6 +40,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sbrs" in out
 
+    def test_bench_quick_writes_json(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "BENCH_merge.json"
+        assert main(["bench", "--daemons", "4", "--samples", "2",
+                     "--repeats", "1", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+        assert f"report written to {out}" in stdout
+        data = json.loads(out.read_text())
+        assert {e["scheme"] for e in data["entries"]} == \
+            {"original", "optimized"}
+
+    def test_bench_baseline_gate(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--daemons", "4", "--samples", "2",
+                     "--repeats", "1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        # impossible baseline -> nonzero exit and a REGRESSION message
+        data = json.loads(out.read_text())
+        for entry in data["entries"]:
+            entry["speedup"] *= 1000.0
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(data))
+        assert main(["bench", "--daemons", "4", "--samples", "2",
+                     "--repeats", "1", "--out", str(out),
+                     "--baseline", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_figure_quick_runs(self, capsys):
         assert main(["figure", "fig2", "--quick"]) == 0
         out = capsys.readouterr().out

@@ -159,10 +159,18 @@ class TestSchemeEquivalence:
             finals.append(scheme.finalize(scheme.merge(trees), tm))
         assert finals[0].structurally_equal(finals[1])
 
-    def test_merge_trees_single_fast_path(self, task_map):
+    def test_merge_trees_single_fast_path_returns_copy(self, task_map):
+        """The 1-tree fast path must not alias the input (regression:
+        downstream label mutation used to corrupt the caller's tree)."""
         scheme = DenseLabelScheme(16)
         t0 = build_daemon_tree(scheme, 0, task_map, {("main",): [0]})
-        assert merge_trees(scheme, [t0]) is t0
+        merged = merge_trees(scheme, [t0])
+        assert merged is not t0
+        assert merged.structurally_equal(t0)
+        # mutating the merged tree's labels must leave the input intact
+        merged.find(trace("main")).tasks.union_inplace(
+            scheme.daemon_label(1, 4, [0], task_map))
+        assert t0.find(trace("main")).tasks.to_ranks().tolist() == [0]
 
     def test_merge_associativity(self, task_map):
         """merge(merge(a,b),c) == merge(a,b,c) for both schemes."""
