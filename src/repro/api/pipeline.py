@@ -35,7 +35,11 @@ from repro.fs.server import LocalDisk
 from repro.launch.base import Launcher, LaunchResult
 from repro.machine.base import MachineModel
 from repro.mpi.stacks import StackModel
-from repro.perf.counters import PERF
+from repro.perf.counters import (
+    PERF,
+    pipeline_runs,
+    pipeline_wall_seconds,
+)
 from repro.sim.engine import Engine
 from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
 from repro.statbench.generator import StateProvider
@@ -391,9 +395,9 @@ class SessionPipeline:
         before = dict(self.ctx.timings)
         for obs in self.observers:
             obs.on_phase_start(phase.name, self.ctx)
-        with PERF.timer(f"pipeline.{phase.name}.wall_seconds"):
+        with PERF.timer(pipeline_wall_seconds(phase.name)):
             phase.run(self.ctx)
-        PERF.add(f"pipeline.{phase.name}.runs")
+        PERF.add(pipeline_runs(phase.name))
         sim = sum(v for k, v in self.ctx.timings.items() if k not in before)
         for obs in self.observers:
             obs.on_phase_end(phase.name, self.ctx, sim)

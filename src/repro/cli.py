@@ -20,6 +20,11 @@ Commands
     fig07 full scale; writes ``BENCH_merge.json``.  ``--scale million``
     adds the 1,048,576-task hierarchical sweep point; ``--baseline``
     fails on >2x regression versus a checked-in report.
+``lint``
+    Run the repo's AST-based invariant checker (:mod:`repro.lint`):
+    pickle-safety, determinism, hot-path hygiene, PERF counter and spec
+    discipline.  ``--format json`` for CI, ``--update-baseline`` to
+    grandfather findings.
 ``list``
     List available figure/claim ids.
 """
@@ -134,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="show every path this rank was observed on")
     inspect.add_argument("--function", default=None,
                          help="show tasks observed inside this function")
+
+    lint = sub.add_parser(
+        "lint", help="run the AST-based invariant checker")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
 
     sub.add_parser("list", help="list figure/claim ids")
     return parser
@@ -384,6 +394,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_reproduce_all(args)
         if args.command == "inspect":
             return _run_inspect(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint
+            return run_lint(args)
         if args.command == "list":
             for key in sorted(REGISTRY):
                 print(key)

@@ -33,10 +33,16 @@ from repro.mpi.stacks import StackModel
 __all__ = ["STATDaemon"]
 
 
+def _slot_union(a: set, b: set) -> set:
+    """In-place union for slot-set labels (module-level: must pickle)."""
+    a.update(b)
+    return a
+
+
 def _slot_tree() -> PrefixTree:
     """A prefix tree whose labels are mutable slot sets."""
     return PrefixTree(
-        label_union=lambda a, b: (a.update(b), a)[1],
+        label_union=_slot_union,
         label_copy=set,
     )
 

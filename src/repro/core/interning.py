@@ -22,6 +22,8 @@ the ``(function, module)`` pairs and re-intern on load.
 
 from __future__ import annotations
 
+# repro-lint: hot-path — intern lookups must stay O(1), no per-node scans.
+
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

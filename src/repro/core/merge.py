@@ -33,6 +33,8 @@ assert bit-identical trees between old and new on randomized inputs.
 
 from __future__ import annotations
 
+# repro-lint: hot-path — merge kernels must stay per-array, not per-node.
+
 from typing import Any, Sequence, Tuple, Union
 
 import numpy as np
@@ -51,7 +53,15 @@ from repro.core.treearrays import (
     TreeArrays,
     merge_structure,
 )
-from repro.perf.counters import PERF
+from repro.perf.counters import (
+    MERGE_CALLS,
+    MERGE_KERNEL_SECONDS,
+    MERGE_LABEL_BYTES_OUT,
+    MERGE_LABEL_GROUPS,
+    MERGE_NODES_OUT,
+    MERGE_TREES_IN,
+    PERF,
+)
 
 __all__ = [
     "LabelScheme",
@@ -74,7 +84,7 @@ def tree_layout(tree: MergeableTree) -> DaemonLayout:
         if tree.kind != KIND_HIER or tree.layout is None:
             raise TypeError("tree does not carry hierarchical labels")
         return tree.layout
-    for _, label in tree.edges():
+    for _, label in tree.edges():  # repro-lint: disable=hot-path-loop (first edge only: returns immediately)
         if not isinstance(label, HierarchicalTaskSet):
             raise TypeError("tree does not carry hierarchical labels")
         return label.layout
@@ -144,13 +154,13 @@ class LabelScheme:
         """Shared merge entry: convert at the boundary, count, time."""
         arrays_in = all(isinstance(t, TreeArrays) for t in trees)
         arrs = trees if arrays_in else [self._to_arrays(t) for t in trees]
-        PERF.add("merge.calls")
-        PERF.add("merge.trees_in", len(arrs))
-        with PERF.timer("merge.kernel_seconds"):
+        PERF.add(MERGE_CALLS)
+        PERF.add(MERGE_TREES_IN, len(arrs))
+        with PERF.timer(MERGE_KERNEL_SECONDS):
             out = self.merge_arrays(arrs)
-        PERF.add("merge.nodes_out", out.node_count())
-        PERF.add("merge.label_groups", out.labels.shape[0])
-        PERF.add("merge.label_bytes_out", out.labels.nbytes)
+        PERF.add(MERGE_NODES_OUT, out.node_count())
+        PERF.add(MERGE_LABEL_GROUPS, out.labels.shape[0])
+        PERF.add(MERGE_LABEL_BYTES_OUT, out.labels.nbytes)
         return out if arrays_in else out.to_prefix_tree()
 
 
@@ -199,7 +209,7 @@ class DenseLabelScheme(LabelScheme):
     def merge_arrays(self, trees: Sequence[TreeArrays]) -> TreeArrays:
         width = self.total_tasks
         nbytes = (width + 7) // 8
-        for t in trees:
+        for t in trees:  # repro-lint: disable=hot-path-loop (per input tree, k-bounded validation)
             if t.width is not None and t.width != width:
                 raise ValueError(
                     f"width mismatch: {width} vs {t.width} (the original "
@@ -216,7 +226,7 @@ class DenseLabelScheme(LabelScheme):
         k = len(trees)
         lo_t = np.empty(k, dtype=np.int64)
         hi_t = np.empty(k, dtype=np.int64)
-        for i, t in enumerate(trees):
+        for i, t in enumerate(trees):  # repro-lint: disable=hot-path-loop (per input tree, k-bounded)
             lo_t[i], hi_t[i] = t.overall_span()
         w_t = hi_t - lo_t
 
@@ -231,7 +241,7 @@ class DenseLabelScheme(LabelScheme):
             if span_order.size > 1 else True
 
         out_flat = out.reshape(-1)
-        for w in np.unique(w_t[tre]).tolist():
+        for w in np.unique(w_t[tre]).tolist():  # repro-lint: disable=hot-path-loop (per distinct span width, not per node)
             if w == 0:
                 continue
             bucket = np.nonzero(w_t == w)[0]
@@ -257,7 +267,7 @@ class DenseLabelScheme(LabelScheme):
             else:
                 # Overlapping spans (e.g. cyclic rank maps) or oversized
                 # scatter: batched OR per source tree.
-                for i in np.unique(tre_b).tolist():
+                for i in np.unique(tre_b).tolist():  # repro-lint: disable=hot-path-loop (per source tree, k-bounded)
                     sel = tre_b == i
                     lo, hi = int(lo_t[i]), int(hi_t[i])
                     out[grp_b[sel], lo:hi] |= \
@@ -305,7 +315,7 @@ class HierarchicalLabelScheme(LabelScheme):
         if not trees:
             raise ValueError("merge of zero trees")
         layouts = []
-        for t in trees:
+        for t in trees:  # repro-lint: disable=hot-path-loop (per input tree, k-bounded validation)
             if t.layout is None:
                 raise ValueError("cannot determine layout of an empty tree")
             layouts.append(t.layout)
@@ -327,7 +337,7 @@ class HierarchicalLabelScheme(LabelScheme):
         # Chunk byte ranges are disjoint by construction, so each bucket of
         # equal-size chunks is one gather from a compact matrix plus one
         # linear-index scatter — the zero fringe is never touched.
-        for nb in np.unique(nb_t[tre]).tolist():
+        for nb in np.unique(nb_t[tre]).tolist():  # repro-lint: disable=hot-path-loop (per distinct chunk size, not per node)
             if nb == 0:
                 continue
             bucket = np.nonzero(nb_t == nb)[0]
@@ -359,8 +369,8 @@ class HierarchicalLabelScheme(LabelScheme):
             root_tree = root_tree.to_prefix_tree()
         out = PrefixTree()
 
-        def rec(dst: PrefixTreeNode, src: PrefixTreeNode) -> None:
-            for frame, child in src.children.items():
+        def rec(dst: PrefixTreeNode, src: PrefixTreeNode) -> None:  # repro-lint: disable=hot-path-recursion (front-end remap: the one per-node step)
+            for frame, child in src.children.items():  # repro-lint: disable=hot-path-loop (front-end remap, per-node by design)
                 node = PrefixTreeNode(frame, remapper.remap(child.tasks))
                 dst.children[frame] = node
                 rec(node, child)

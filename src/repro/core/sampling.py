@@ -46,7 +46,12 @@ __all__ = ["SamplingConfig", "SamplingTimeReport", "time_sampling_phase"]
 
 @dataclass(frozen=True)
 class SamplingConfig:
-    """Knobs of one sampling-phase timing run."""
+    """Knobs of one sampling-phase timing run.
+
+    Frozen: configs are embedded in frozen :class:`SessionSpec` objects,
+    shared as defaults, and shipped across process pools — never mutate
+    one, ``dataclasses.replace`` it.
+    """
 
     num_samples: int = 10
     threads_per_process: int = 1

@@ -30,6 +30,8 @@ Interned frame ids are process-local, so pickling translates ids to
 
 from __future__ import annotations
 
+# repro-lint: hot-path — array kernels must stay per-array, not per-node.
+
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -119,9 +121,9 @@ class TreeArrays:
         level: List[Tuple[int, PrefixTreeNode]] = \
             [(-1, child) for child in tree.root.children.values()]
         first_label: Any = None
-        while level:
+        while level:  # repro-lint: disable=hot-path-loop (object->array boundary conversion, per level)
             nxt: List[Tuple[int, PrefixTreeNode]] = []
-            for parent_gid, node in level:
+            for parent_gid, node in level:  # repro-lint: disable=hot-path-loop (boundary conversion, inherently per node)
                 gid = len(frame_ids)
                 frame_ids.append(node.frame.id)
                 parents.append(parent_gid)
@@ -133,7 +135,7 @@ class TreeArrays:
                     ref = row_of[id(label)] = len(rows)
                     rows.append(label.data)
                 label_refs.append(ref)
-                for child in node.children.values():
+                for child in node.children.values():  # repro-lint: disable=hot-path-loop (boundary conversion, inherently per node)
                     nxt.append((gid, child))
             level_offsets.append(len(frame_ids))
             level = nxt
@@ -190,7 +192,7 @@ class TreeArrays:
         frames = FRAMES.frames_of(self.frame_ids)
         parents = self.parents
         refs = self.label_refs
-        for i, frame in enumerate(frames):
+        for i, frame in enumerate(frames):  # repro-lint: disable=hot-path-loop (array->object boundary materialization)
             node = PrefixTreeNode(frame, label_objs[refs[i]])
             parent = root if parents[i] < 0 else nodes[parents[i]]
             parent.children[frame] = node
@@ -375,7 +377,7 @@ def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
     groups: List[Tuple[np.ndarray, np.ndarray]] = []
     out_count = 0
 
-    for lvl in range(n_levels):
+    for lvl in range(n_levels):  # repro-lint: disable=hot-path-loop (per tree level, depth-bounded)
         idx = order[bounds[lvl]:bounds[lvl + 1]]
         frames_lvl = frames_all[idx]
         if lvl == 0:

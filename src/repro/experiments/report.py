@@ -77,9 +77,9 @@ def reproduce_all(out_path: Union[str, Path, None] = None,
     ]
     for fig_id in ids:
         module = importlib.import_module(REGISTRY[fig_id])
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = module.run(quick=quick)
-        wall = time.time() - t0
+        wall = time.perf_counter() - t0
         if progress:
             print(f"[reproduce-all] {fig_id}: {wall:.1f}s wall")
         sections.append(result_to_markdown(result))

@@ -1,0 +1,37 @@
+"""``repro.lint`` — the repo's AST-based invariant checker.
+
+A static-analysis subsystem (stdlib ``ast`` only) enforcing the
+invariants generic linters cannot know: pickle-safety across the
+``ScenarioSuite`` process pool, determinism of everything feeding figure
+values, per-array (never per-node) hot paths in the merge kernels, PERF
+counter-name discipline, spec/docs agreement, and spec-object hygiene.
+
+Entry points:
+
+* ``stat-repro lint`` — the CLI (text/JSON output, baseline workflow);
+* :func:`repro.lint.engine.lint_paths` — the library API;
+* ``docs/static-analysis.md`` — rule catalogue and rationale.
+"""
+
+from repro.lint.baseline import Baseline, BaselineComparison
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "Finding",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,103 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced.  ``stat-repro lint`` fails only on findings *not*
+in the baseline, so a new rule can land (and guard new code) before
+every historical hit is fixed.  Matching is by :attr:`Finding.key`
+(file + rule + message, no line number) with multiplicity: three
+baselined hits of one key allow at most three current hits.
+
+Baselines expire: entries whose finding no longer occurs are reported so
+they can be removed (``--update-baseline`` rewrites the file from the
+current findings, handling both add and expire).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.lint.engine import Finding
+
+__all__ = ["Baseline", "BaselineComparison"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """How the current findings relate to a baseline."""
+
+    #: findings not covered by the baseline — these fail the build
+    new: List[Finding] = field(default_factory=list)
+    #: findings matched (and absorbed) by a baseline entry
+    known: List[Finding] = field(default_factory=list)
+    #: baseline keys with no matching finding any more — stale entries
+    expired: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new appeared."""
+        return not self.new
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: Dict[str, int] = None) -> None:
+        self.counts: Counter = Counter(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """The baseline that exactly absorbs ``findings``."""
+        return cls(Counter(f.key for f in findings))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file (missing file = empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(f"malformed baseline file: {path}")
+        counts: Counter = Counter()
+        for entry in data["findings"]:
+            key = (f"{entry['file']}::{entry['rule']}"
+                   f"::{entry['message']}")
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write this baseline as (sorted, diff-friendly) JSON."""
+        entries = []
+        for key in sorted(self.counts):
+            file, rule, message = key.split("::", 2)
+            entry = {"file": file, "rule": rule, "message": message}
+            if self.counts[key] != 1:
+                entry["count"] = self.counts[key]
+            entries.append(entry)
+        path = Path(path)
+        path.write_text(json.dumps(
+            {"version": _VERSION, "findings": entries}, indent=2) + "\n")
+        return path
+
+    def compare(self, findings: Sequence[Finding]) -> BaselineComparison:
+        """Split ``findings`` into new vs known, and report stale keys."""
+        budget = Counter(self.counts)
+        result = BaselineComparison()
+        for finding in findings:
+            if budget.get(finding.key, 0) > 0:
+                budget[finding.key] -= 1
+                result.known.append(finding)
+            else:
+                result.new.append(finding)
+        result.expired = sorted(key for key, left in budget.items()
+                                if left > 0)
+        return result
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,119 @@
+"""The ``stat-repro lint`` subcommand implementation.
+
+Kept out of :mod:`repro.cli` so the top-level CLI stays a thin
+dispatcher.  Exit codes: 0 = clean (every finding baselined), 1 = new
+findings, 2 = usage error (unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import all_rules, lint_paths
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+#: repo-conventional baseline location (committed when non-empty)
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)argument parser."""
+    parser.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the report (in --format) here")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE}; missing = empty)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: every finding fails")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings (adds new, expires stale) and "
+                             "exit 0")
+    parser.add_argument("--select", metavar="RULE[,RULE...]", default=None,
+                        help="run only these rule ids")
+    parser.add_argument("--root", metavar="DIR", default=".",
+                        help="repo root findings are relative to")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint command; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:<22} {rule.summary}")
+        return 0
+
+    root = Path(args.root)
+    paths = [Path(p) for p in (args.paths or [root / "src"])]
+    select = (args.select.split(",") if args.select else None)
+    try:
+        findings = lint_paths(paths, root=root, select=select)
+    except KeyError as err:
+        print(f"lint: {err.args[0]}")
+        return 2
+
+    if args.update_baseline:
+        baseline = Baseline.from_findings(findings)
+        baseline.save(args.baseline)
+        print(f"baseline updated: {len(baseline)} finding(s) recorded "
+              f"in {args.baseline}")
+        return 0
+
+    baseline = (Baseline() if args.no_baseline
+                else Baseline.load(args.baseline))
+    comparison = baseline.compare(findings)
+
+    if args.format == "json":
+        report = _json_report(findings, comparison)
+        text = json.dumps(report, indent=2)
+    else:
+        text = _text_report(findings, comparison, args.baseline)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    return 0 if comparison.ok else 1
+
+
+def _json_report(findings, comparison) -> dict:
+    return {
+        "findings": [f.to_dict() for f in findings],
+        "new": [f.to_dict() for f in comparison.new],
+        "baselined": [f.to_dict() for f in comparison.known],
+        "expired_baseline_entries": comparison.expired,
+        "counts": {
+            "total": len(findings),
+            "new": len(comparison.new),
+            "baselined": len(comparison.known),
+            "expired": len(comparison.expired),
+        },
+        "ok": comparison.ok,
+    }
+
+
+def _text_report(findings, comparison, baseline_path: str) -> str:
+    lines: List[str] = []
+    for finding in comparison.new:
+        lines.append(finding.render())
+    if comparison.known:
+        lines.append(f"({len(comparison.known)} baselined finding(s) "
+                     f"not shown; see {baseline_path})")
+    for key in comparison.expired:
+        lines.append(f"stale baseline entry (finding gone — run "
+                     f"--update-baseline): {key}")
+    if comparison.ok:
+        lines.append(f"lint: clean ({len(findings)} finding(s), "
+                     f"all baselined)" if findings else "lint: clean")
+    else:
+        lines.append(f"lint: {len(comparison.new)} new finding(s)")
+    return "\n".join(lines)

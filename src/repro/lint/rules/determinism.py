@@ -1,0 +1,176 @@
+"""Determinism rules: unordered iteration, unseeded RNGs, wall clocks.
+
+The paper-claims tests pin simulated figure values byte-exact, and the
+merge kernels promise bit-identical trees — both properties die quietly
+when iteration order, an unseeded RNG, or the wall clock leaks into a
+value.  Three rules:
+
+* ``unordered-iteration`` — iterating a ``set``/``frozenset`` (literal,
+  comprehension, or constructor call) in an order-sensitive position.
+  CPython string hashing is randomized per process, so set order is not
+  reproducible across runs.  Wrap the set in ``sorted(...)``.
+* ``unseeded-random`` — the stdlib ``random`` module (process-global,
+  seeded from OS entropy), NumPy's legacy global RNG
+  (``np.random.seed/rand/...``), or ``default_rng()`` without a seed.
+  All simulation randomness must flow through
+  :class:`repro.sim.random.SeedStream`.
+* ``wall-clock`` — ``time.time()``; use ``time.perf_counter()`` for
+  intervals or the simulation clock for anything that feeds a figure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+#: the one module allowed to construct generators from raw entropy
+_RNG_MODULE = "repro.sim.random"
+
+#: legacy ``np.random.*`` global-state functions
+_NP_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "shuffle", "permutation", "choice", "uniform", "normal", "bytes",
+}
+
+#: builtins whose output order follows the input's iteration order
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "next"}
+#: consumers that erase iteration order again (safe wrappers)
+_ORDER_INSENSITIVE_CALLS = {"sorted", "min", "max", "sum", "any", "all",
+                            "len", "set", "frozenset"}
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """True for expressions producing a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    return {child: parent for parent in ast.walk(tree)
+            for child in ast.iter_child_nodes(parent)}
+
+
+@register
+class UnorderedIterationRule(Rule):
+    rule_id = "unordered-iteration"
+    summary = "set iteration order reaches an order-sensitive consumer"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        parents = _parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_unordered(node.iter):
+                findings.append(self._finding(ctx, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                if not any(_is_unordered(gen.iter)
+                           for gen in node.generators):
+                    continue
+                consumer = parents.get(node)
+                if isinstance(consumer, ast.Call) and \
+                        isinstance(consumer.func, ast.Name) and \
+                        consumer.func.id in _ORDER_INSENSITIVE_CALLS:
+                    continue
+                findings.append(self._finding(ctx, node))
+            elif isinstance(node, ast.Call):
+                name = (node.func.id
+                        if isinstance(node.func, ast.Name) else
+                        node.func.attr
+                        if isinstance(node.func, ast.Attribute) else "")
+                order_sensitive = (name in _ORDER_SENSITIVE_CALLS
+                                   or name == "join")
+                if order_sensitive and node.args \
+                        and _is_unordered(node.args[0]):
+                    findings.append(self._finding(ctx, node.args[0]))
+        return findings
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST) -> Finding:
+        return ctx.finding(
+            node.lineno, self.rule_id,
+            "set iteration order is not reproducible (hash "
+            "randomization); wrap in sorted(...)")
+
+
+@register
+class UnseededRandomRule(Rule):
+    rule_id = "unseeded-random"
+    summary = ("randomness must come from repro.sim.random, "
+               "not global/unseeded RNGs")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.module == _RNG_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(ctx.finding(
+                            node.lineno, self.rule_id,
+                            "stdlib random is process-global and "
+                            "unseeded; use repro.sim.random.SeedStream"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(ctx.finding(
+                        node.lineno, self.rule_id,
+                        "stdlib random is process-global and unseeded; "
+                        "use repro.sim.random.SeedStream"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node))
+        return findings
+
+    def _check_call(self, ctx: ModuleContext,
+                    call: ast.Call) -> Iterable[Finding]:
+        func = call.func
+        # np.random.<legacy>(...) — the hidden global Mersenne Twister.
+        if isinstance(func, ast.Attribute) and func.attr in _NP_LEGACY:
+            value = func.value
+            if isinstance(value, ast.Attribute) and \
+                    value.attr == "random" and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id in ("np", "numpy"):
+                yield ctx.finding(
+                    call.lineno, self.rule_id,
+                    f"np.random.{func.attr} uses the global RNG; use a "
+                    f"seeded Generator from repro.sim.random")
+                return
+        # default_rng() / default_rng(None) — OS entropy.
+        name = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else "")
+        if name == "default_rng":
+            unseeded = (not call.args and not call.keywords) or (
+                len(call.args) == 1
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value is None)
+            if unseeded:
+                yield ctx.finding(
+                    call.lineno, self.rule_id,
+                    "default_rng() without a seed draws OS entropy; "
+                    "derive seeds via repro.sim.random.SeedStream")
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    summary = "time.time() read; use perf_counter or the simulated clock"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "time" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "time":
+                findings.append(ctx.finding(
+                    node.lineno, self.rule_id,
+                    "time.time() is wall-clock and NTP-steppable; use "
+                    "time.perf_counter() for intervals or the "
+                    "simulation clock for figure values"))
+        return findings

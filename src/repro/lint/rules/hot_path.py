@@ -1,0 +1,72 @@
+"""Hot-path hygiene for modules marked ``# repro-lint: hot-path``.
+
+PR 5 rewrote the merge kernels so every per-node operation is a NumPy
+array op; the 13x speedup survives only while that stays true.  A module
+opts into enforcement with a ``# repro-lint: hot-path`` comment (the
+kernel modules ``core/merge.py``, ``core/treearrays.py``, and
+``core/interning.py`` carry it).  In a marked module:
+
+* ``hot-path-loop`` — every ``for``/``while`` statement is flagged.
+  Per-*bucket* or per-*level* loops (bounded by distinct widths or tree
+  depth, not node count) are legitimate: suppress them inline with
+  ``# repro-lint: disable=hot-path-loop`` plus a justification, which
+  doubles as documentation of the loop's granularity.  Comprehensions
+  are not flagged — the repo idiom uses them only over per-tree or
+  per-group sequences.
+* ``hot-path-recursion`` — a function calling itself by name.  The
+  pre-vectorization kernels were recursive; recursion re-introduces
+  per-node Python frames and dies at deep trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+
+@register
+class HotPathLoopRule(Rule):
+    rule_id = "hot-path-loop"
+    summary = "Python-level loop statement in a hot-path (kernel) module"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.is_hot_path:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(node, ast.While) else "for"
+                findings.append(ctx.finding(
+                    node.lineno, self.rule_id,
+                    f"'{kind}' loop in a kernel module; hot paths are "
+                    f"per-array — justify per-bucket loops with an "
+                    f"inline disable"))
+        return findings
+
+
+@register
+class HotPathRecursionRule(Rule):
+    rule_id = "hot-path-recursion"
+    summary = "self-recursive function in a hot-path (kernel) module"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.is_hot_path:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) \
+                        and isinstance(inner.func, ast.Name) \
+                        and inner.func.id == node.name:
+                    findings.append(ctx.finding(
+                        node.lineno, self.rule_id,
+                        f"{node.name!r} recurses; recursion costs one "
+                        f"Python frame per node and overflows at deep "
+                        f"trees — use an iterative worklist"))
+                    break
+        return findings

@@ -1,0 +1,81 @@
+"""Rule ``perf-counter-name``: PERF counter names come from the registry.
+
+The perf subsystem aggregates by *string* name, so a typo'd counter
+silently splits a metric in two and the bench baselines compare garbage.
+Every ``PERF.add/add_seconds/timer/get`` call site must therefore
+reference the named constants (or the phase-name helpers) exported by
+:mod:`repro.perf.counters` — the one module allowed to spell the raw
+strings.  Flagged:
+
+* a string literal counter name (known → "use the constant",
+  unknown → "typo?");
+* an inline f-string counter name (compose via the registry helpers,
+  e.g. ``pipeline_wall_seconds(phase)``).
+
+``Name``/``Attribute``/helper-call arguments are accepted; static
+analysis cannot resolve them, and the registry keeps them honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+#: the module that owns the raw strings (exempt from this rule)
+_REGISTRY_MODULE = "repro.perf.counters"
+
+_PERF_METHODS = {"add", "add_seconds", "timer", "get"}
+
+
+def _known_counters() -> frozenset:
+    """The registry's fixed counter names (lazy import)."""
+    from repro.perf.counters import KNOWN_COUNTERS
+    return KNOWN_COUNTERS
+
+
+@register
+class PerfCounterNameRule(Rule):
+    rule_id = "perf-counter-name"
+    summary = ("PERF counter names must be the repro.perf.counters "
+               "constants, not inline strings")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.module == _REGISTRY_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _PERF_METHODS):
+                continue
+            receiver = func.value
+            receiver_name = (receiver.id if isinstance(receiver, ast.Name)
+                             else receiver.attr
+                             if isinstance(receiver, ast.Attribute)
+                             else "")
+            if receiver_name != "PERF":
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value in _known_counters():
+                    findings.append(ctx.finding(
+                        arg.lineno, self.rule_id,
+                        f"counter {arg.value!r} spelled inline; use its "
+                        f"repro.perf.counters constant"))
+                else:
+                    findings.append(ctx.finding(
+                        arg.lineno, self.rule_id,
+                        f"unknown counter {arg.value!r} (not in the "
+                        f"repro.perf.counters registry — typo?)"))
+            elif isinstance(arg, ast.JoinedStr):
+                findings.append(ctx.finding(
+                    arg.lineno, self.rule_id,
+                    "inline f-string counter name; compose names with "
+                    "the repro.perf.counters helpers"))
+        return findings

@@ -1,0 +1,192 @@
+"""Rule ``spec-drift``: SessionSpec and the session-format docs agree.
+
+``SessionSpec`` is the repo's public contract — the CLI, the suite
+runner, and the ``session.json`` v2 archive all speak it — and the
+session-format documentation in ``docs/architecture.md`` is what users
+read.  This project-level rule cross-checks three sources statically:
+
+* the ``SessionSpec`` dataclass fields (parsed from
+  ``src/repro/api/spec.py``) versus the field table between the
+  ``<!-- spec-fields:begin/end -->`` markers in the docs;
+* the workload ids registered by ``register_workload(...)`` calls in
+  ``src/repro/api/workloads.py`` versus the list between the
+  ``<!-- workload-ids:begin/end -->`` markers;
+* ``SessionSpec``'s default workload id versus the registry.
+
+The rule runs only when the linted file set contains the spec module,
+so linting a single unrelated file stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    register,
+)
+
+_SPEC_MODULE = "repro.api.spec"
+_WORKLOADS_MODULE = "repro.api.workloads"
+_DOCS_REL = "docs/architecture.md"
+
+_BACKTICK_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _marked_block(lines: Sequence[str],
+                  marker: str) -> Tuple[Optional[int], List[str]]:
+    """Lines between ``<!-- marker:begin -->`` and ``:end``, 1-based."""
+    begin, end = f"<!-- {marker}:begin -->", f"<!-- {marker}:end -->"
+    start = None
+    block: List[str] = []
+    for i, line in enumerate(lines, 1):
+        if begin in line:
+            start = i
+        elif end in line and start is not None:
+            return start, block
+        elif start is not None:
+            block.append(line)
+    return None, []
+
+
+def _spec_fields(ctx: ModuleContext) -> Dict[str, int]:
+    """``SessionSpec`` field name -> line, from the class body AST."""
+    fields: Dict[str, int] = {}
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "SessionSpec":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _default_workload(ctx: ModuleContext) -> Optional[Tuple[str, int]]:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "SessionSpec":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name) \
+                        and stmt.target.id == "workload" \
+                        and isinstance(stmt.value, ast.Constant) \
+                        and isinstance(stmt.value.value, str):
+                    return stmt.value.value, stmt.lineno
+    return None
+
+
+def _registered_workloads(ctx: ModuleContext) -> Dict[str, int]:
+    """Workload id -> line of its ``register_workload`` call."""
+    registered: Dict[str, int] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else "")
+            if name == "register_workload" and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                registered[node.args[0].value] = node.lineno
+    return registered
+
+
+@register
+class SpecDriftRule(ProjectRule):
+    rule_id = "spec-drift"
+    summary = ("SessionSpec fields and workload ids must match the "
+               "session-format docs")
+
+    def check_project(self, modules: Sequence[ModuleContext],
+                      root: Path) -> Iterable[Finding]:
+        spec_ctx = next((m for m in modules if m.module == _SPEC_MODULE),
+                        None)
+        if spec_ctx is None:
+            return []
+        findings: List[Finding] = []
+        docs_path = root / _DOCS_REL
+        if not docs_path.exists():
+            return [Finding(spec_ctx.rel, 1, self.rule_id,
+                            f"session-format docs not found at "
+                            f"{_DOCS_REL}")]
+        doc_lines = docs_path.read_text().splitlines()
+
+        self._check_fields(spec_ctx, doc_lines, findings)
+        workloads_ctx = next(
+            (m for m in modules if m.module == _WORKLOADS_MODULE), None)
+        if workloads_ctx is not None:
+            self._check_workloads(spec_ctx, workloads_ctx, doc_lines,
+                                  findings)
+        return findings
+
+    def _check_fields(self, spec_ctx: ModuleContext,
+                      doc_lines: Sequence[str],
+                      findings: List[Finding]) -> None:
+        fields = _spec_fields(spec_ctx)
+        marker_line, block = _marked_block(doc_lines, "spec-fields")
+        if marker_line is None:
+            findings.append(Finding(
+                _DOCS_REL, 1, self.rule_id,
+                "missing '<!-- spec-fields:begin/end -->' markers "
+                "around the SessionSpec field table"))
+            return
+        documented: Dict[str, int] = {}
+        for offset, line in enumerate(block, 1):
+            if not line.lstrip().startswith("|"):
+                continue
+            m = _BACKTICK_RE.search(line)
+            if m:
+                documented.setdefault(m.group(1), marker_line + offset)
+        for name, line in sorted(fields.items()):
+            if name not in documented:
+                findings.append(Finding(
+                    spec_ctx.rel, line, self.rule_id,
+                    f"SessionSpec field {name!r} is not documented in "
+                    f"{_DOCS_REL}"))
+        for name, line in sorted(documented.items()):
+            if name not in fields:
+                findings.append(Finding(
+                    _DOCS_REL, line, self.rule_id,
+                    f"docs list field {name!r} that SessionSpec does "
+                    f"not define"))
+
+    def _check_workloads(self, spec_ctx: ModuleContext,
+                         workloads_ctx: ModuleContext,
+                         doc_lines: Sequence[str],
+                         findings: List[Finding]) -> None:
+        registered = _registered_workloads(workloads_ctx)
+        marker_line, block = _marked_block(doc_lines, "workload-ids")
+        if marker_line is None:
+            findings.append(Finding(
+                _DOCS_REL, 1, self.rule_id,
+                "missing '<!-- workload-ids:begin/end -->' markers "
+                "around the workload-id list"))
+            return
+        documented: Dict[str, int] = {}
+        for offset, line in enumerate(block, 1):
+            for m in _BACKTICK_RE.finditer(line):
+                documented.setdefault(m.group(1), marker_line + offset)
+        for name, line in sorted(registered.items()):
+            if name not in documented:
+                findings.append(Finding(
+                    workloads_ctx.rel, line, self.rule_id,
+                    f"workload id {name!r} is registered but not "
+                    f"documented in {_DOCS_REL}"))
+        for name, line in sorted(documented.items()):
+            if name not in registered:
+                findings.append(Finding(
+                    _DOCS_REL, line, self.rule_id,
+                    f"docs list workload id {name!r} that the registry "
+                    f"does not define"))
+        default = _default_workload(spec_ctx)
+        if default is not None:
+            workload_id, line = default
+            base = workload_id.split(":")[0]
+            if base not in registered:
+                findings.append(Finding(
+                    spec_ctx.rel, line, self.rule_id,
+                    f"SessionSpec default workload {workload_id!r} is "
+                    f"not a registered workload id"))

@@ -1,0 +1,95 @@
+"""Spec-object hygiene: mutable defaults and non-frozen spec dataclasses.
+
+Declarative objects (``*Spec``/``*Config`` dataclasses) are shared,
+hashed into suite tables, embedded in frozen parents, and shipped across
+process pools — they must be immutable, and no default may alias one
+mutable object across call sites.
+
+* ``mutable-default`` — a function/method parameter defaulting to a
+  ``list``/``dict``/``set`` display or bare constructor call: the one
+  object is shared by every call.
+* ``spec-not-frozen`` — a ``@dataclass`` whose name ends in ``Spec`` or
+  ``Config`` declared without ``frozen=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+_SPEC_SUFFIXES = ("Spec", "Config")
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+            and not node.args and not node.keywords)
+
+
+def _dataclass_decorator(cls: ast.ClassDef):
+    """The ``@dataclass`` decorator node of ``cls``, or ``None``."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (target.attr if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name) else "")
+        if name == "dataclass":
+            return deco
+    return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    summary = "mutable default argument shared across every call"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    findings.append(ctx.finding(
+                        default.lineno, self.rule_id,
+                        "mutable default argument is shared across "
+                        "calls; default to None (or use "
+                        "dataclasses.field(default_factory=...))"))
+        return findings
+
+
+@register
+class SpecNotFrozenRule(Rule):
+    rule_id = "spec-not-frozen"
+    summary = "*Spec/*Config dataclasses must be frozen=True"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(_SPEC_SUFFIXES):
+                continue
+            deco = _dataclass_decorator(node)
+            if deco is None:
+                continue
+            frozen = isinstance(deco, ast.Call) and any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords)
+            if not frozen:
+                findings.append(ctx.finding(
+                    node.lineno, self.rule_id,
+                    f"dataclass {node.name!r} looks declarative but is "
+                    f"not frozen=True; spec objects are shared, pooled, "
+                    f"and embedded in frozen parents"))
+        return findings

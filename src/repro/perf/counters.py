@@ -25,7 +25,70 @@ import time
 from contextlib import contextmanager
 from typing import Dict
 
-__all__ = ["PerfCounters", "PERF"]
+__all__ = [
+    "PerfCounters", "PERF",
+    "MERGE_CALLS", "MERGE_TREES_IN", "MERGE_KERNEL_SECONDS",
+    "MERGE_NODES_OUT", "MERGE_LABEL_GROUPS", "MERGE_LABEL_BYTES_OUT",
+    "TBON_REDUCTIONS", "TBON_BYTES", "TBON_MESSAGES",
+    "TBON_REDUCE_WALL_SECONDS",
+    "KNOWN_COUNTERS", "pipeline_runs", "pipeline_wall_seconds",
+    "is_known_counter",
+]
+
+# -- counter-name registry ----------------------------------------------------
+# This module is the single place raw counter-name strings are spelled;
+# every instrumented call site references these constants (enforced by
+# the `perf-counter-name` lint rule), so a typo cannot silently split a
+# metric into two names.
+
+#: k-way merge kernel invocations (``core/merge.py``)
+MERGE_CALLS = "merge.calls"
+#: input trees summed over merge calls
+MERGE_TREES_IN = "merge.trees_in"
+#: accumulated wall seconds inside the merge kernels (timer)
+MERGE_KERNEL_SECONDS = "merge.kernel_seconds"
+#: nodes in merged output trees
+MERGE_NODES_OUT = "merge.nodes_out"
+#: distinct label rows in merged outputs
+MERGE_LABEL_GROUPS = "merge.label_groups"
+#: bytes of label matrix in merged outputs
+MERGE_LABEL_BYTES_OUT = "merge.label_bytes_out"
+#: TBO̅N reduction operations (``tbon/network.py``)
+TBON_REDUCTIONS = "tbon.reductions"
+#: simulated payload bytes moved by reductions
+TBON_BYTES = "tbon.bytes"
+#: simulated messages moved by reductions
+TBON_MESSAGES = "tbon.messages"
+#: wall seconds spent simulating reductions (timer)
+TBON_REDUCE_WALL_SECONDS = "tbon.reduce_wall_seconds"
+
+#: every fixed counter name — the lint registry
+KNOWN_COUNTERS = frozenset({
+    MERGE_CALLS, MERGE_TREES_IN, MERGE_KERNEL_SECONDS, MERGE_NODES_OUT,
+    MERGE_LABEL_GROUPS, MERGE_LABEL_BYTES_OUT,
+    TBON_REDUCTIONS, TBON_BYTES, TBON_MESSAGES,
+    TBON_REDUCE_WALL_SECONDS,
+})
+
+_PIPELINE_PREFIX = "pipeline."
+
+
+def pipeline_runs(phase: str) -> str:
+    """Counter name for one pipeline phase's run count."""
+    return f"{_PIPELINE_PREFIX}{phase}.runs"
+
+
+def pipeline_wall_seconds(phase: str) -> str:
+    """Timer name for one pipeline phase's wall seconds."""
+    return f"{_PIPELINE_PREFIX}{phase}.wall_seconds"
+
+
+def is_known_counter(name: str) -> bool:
+    """True for fixed registry names and well-formed pipeline names."""
+    if name in KNOWN_COUNTERS:
+        return True
+    return (name.startswith(_PIPELINE_PREFIX)
+            and name.endswith((".runs", ".wall_seconds")))
 
 
 class PerfCounters:

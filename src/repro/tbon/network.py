@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.machine.base import MachineModel
-from repro.perf.counters import PERF
+from repro.perf.counters import (
+    PERF,
+    TBON_BYTES,
+    TBON_MESSAGES,
+    TBON_REDUCE_WALL_SECONDS,
+    TBON_REDUCTIONS,
+)
 from repro.tbon.topology import Role, Topology, TopologyNode
 
 __all__ = [
@@ -281,10 +287,10 @@ class TBONetwork:
         stats.payload = payload
         stats.sim_time = t_done
         # Aggregate perf accounting: one update per reduction, not per hop.
-        PERF.add("tbon.reductions")
-        PERF.add("tbon.bytes", stats.bytes_total)
-        PERF.add("tbon.messages", stats.messages)
-        PERF.add_seconds("tbon.reduce_wall_seconds",
+        PERF.add(TBON_REDUCTIONS)
+        PERF.add(TBON_BYTES, stats.bytes_total)
+        PERF.add(TBON_MESSAGES, stats.messages)
+        PERF.add_seconds(TBON_REDUCE_WALL_SECONDS,
                          time.perf_counter() - wall_start)
         return stats
 

@@ -1,0 +1,15 @@
+"""Known-bad kernel module: per-node loops and recursion."""
+# repro-lint: hot-path
+
+
+def merge_nodes(nodes):
+    total = 0
+    for node in nodes:
+        total += node
+    while total > 10:
+        total //= 2
+    return total
+
+
+def walk(node, depth=0):
+    return 1 + sum(walk(c, depth + 1) for c in node)

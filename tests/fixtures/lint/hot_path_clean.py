@@ -1,0 +1,9 @@
+"""Known-clean kernel module: comprehensions and a justified loop."""
+# repro-lint: hot-path
+
+
+def merge_nodes(widths, nodes):
+    sums = [sum(nodes)] * len(widths)
+    for width in widths:  # repro-lint: disable=hot-path-loop (per distinct width)
+        sums.append(width)
+    return [n * 2 for n in sums]

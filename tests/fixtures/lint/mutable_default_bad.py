@@ -1,0 +1,14 @@
+"""Known-bad: shared mutable default arguments."""
+
+
+def gather(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+def tags(extra=set()):
+    return extra

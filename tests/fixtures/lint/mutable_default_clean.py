@@ -1,0 +1,12 @@
+"""Known-clean: None sentinels instead of mutable defaults."""
+
+
+def gather(item, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(item)
+    return acc
+
+
+def index(key, table=None):
+    table = {} if table is None else table
+    return table.setdefault(key, len(table))

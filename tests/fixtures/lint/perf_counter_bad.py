@@ -1,0 +1,7 @@
+"""Known-bad: inline counter names at PERF call sites."""
+
+
+def record(PERF, phase, dt):
+    PERF.add("merge.calls")
+    PERF.add("merge.callz")
+    PERF.add_seconds(f"pipeline.{phase}.wall_seconds", dt)

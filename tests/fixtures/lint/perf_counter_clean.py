@@ -1,0 +1,9 @@
+"""Known-clean: registry constants and helpers only."""
+
+
+def record(PERF, phase, dt, MERGE_CALLS, MERGE_KERNEL_SECONDS,
+           pipeline_wall_seconds):
+    PERF.add(MERGE_CALLS)
+    PERF.add_seconds(pipeline_wall_seconds(phase), dt)
+    with PERF.timer(MERGE_KERNEL_SECONDS):
+        pass

@@ -1,0 +1,8 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    machine: str
+    daemons: int = 4
+    workload: str = "ring_hang:1"

@@ -1,0 +1,8 @@
+REGISTRY = {}
+
+
+def register_workload(name, factory):
+    REGISTRY[name] = factory
+
+
+register_workload("ring_hang", object)

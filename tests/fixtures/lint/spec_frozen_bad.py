@@ -1,0 +1,13 @@
+"""Known-bad: declarative dataclasses that are not frozen."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunSpec:
+    daemons: int = 4
+
+
+@dataclass(order=True)
+class LaunchConfig:
+    mode: str = "co"

@@ -1,0 +1,12 @@
+"""Known-clean: frozen spec dataclass; plain classes exempt."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    daemons: int = 4
+
+
+class MergeSpec:
+    """Not a dataclass: the suffix alone must not fire."""

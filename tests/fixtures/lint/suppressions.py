@@ -1,0 +1,10 @@
+"""Inline and file-level suppression fixture."""
+# repro-lint: disable-file=wall-clock
+
+import time
+
+
+def sample(tags):
+    first = [t for t in set(tags)]  # repro-lint: disable=unordered-iteration (fixture)
+    second = [t for t in set(tags)]
+    return time.time(), first, second

@@ -1,0 +1,11 @@
+"""Known-bad: set iteration order reaches ordered consumers."""
+
+
+def collect(tags):
+    out = []
+    for tag in {t.lower() for t in tags}:
+        out.append(tag)
+    rows = [t for t in set(tags)]
+    joined = ",".join({t for t in tags})
+    listed = list({1, 2, 3})
+    return out, rows, joined, listed

@@ -1,0 +1,11 @@
+"""Known-clean: every set is sorted or order-erased before use."""
+
+
+def collect(tags):
+    out = []
+    for tag in sorted({t.lower() for t in tags}):
+        out.append(tag)
+    rows = sorted(t for t in set(tags))
+    joined = ",".join(sorted({t for t in tags}))
+    total = sum(len(t) for t in set(tags))
+    return out, rows, joined, total

@@ -1,0 +1,12 @@
+"""Known-bad: global/unseeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(n):
+    vals = np.random.rand(n)
+    rng = default_rng()
+    return random.random(), vals, rng

@@ -1,0 +1,10 @@
+"""Known-clean: every generator is explicitly seeded."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(n, seed):
+    rng = default_rng(seed)
+    gen = np.random.default_rng(12345)
+    return rng.random(n) + gen.random(n)

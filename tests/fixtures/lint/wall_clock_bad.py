@@ -1,0 +1,8 @@
+"""Known-bad: wall-clock read."""
+
+import time
+
+
+def stamp():
+    started = time.time()
+    return started

@@ -1,0 +1,8 @@
+"""Known-clean: monotonic interval timing."""
+
+import time
+
+
+def stamp():
+    started = time.perf_counter()
+    return time.perf_counter() - started

@@ -1,0 +1,175 @@
+"""Engine-level tests: suppressions, baselines, CLI exit codes, and the
+repo-wide cleanliness gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Baseline, Finding, all_rules, lint_paths
+from repro.lint.engine import PARSE_ERROR
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_one_line(self):
+        findings = lint_paths([FIXTURES / "suppressions.py"],
+                              root=FIXTURES,
+                              select=["unordered-iteration"])
+        # the fixture has two identical violations; only the
+        # un-suppressed second one may survive
+        assert len(findings) == 1
+        assert findings[0].line == 9
+
+    def test_disable_file_silences_the_whole_module(self):
+        findings = lint_paths([FIXTURES / "suppressions.py"],
+                              root=FIXTURES, select=["wall-clock"])
+        assert findings == []
+
+    def test_directives_in_strings_do_not_suppress(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            'NOTE = "# repro-lint: disable-file=wall-clock"\n'
+            "import time\n"
+            "t = time.time()\n")
+        findings = lint_paths([src], root=tmp_path, select=["wall-clock"])
+        assert len(findings) == 1
+
+
+class TestDriver:
+    def test_parse_error_becomes_a_finding(self):
+        findings = lint_paths([FIXTURES / "parse_error.py.txt"],
+                              root=FIXTURES)
+        assert len(findings) == 1
+        assert findings[0].rule_id == PARSE_ERROR
+        assert "cannot parse" in findings[0].message
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            lint_paths([FIXTURES], root=FIXTURES, select=["no-such-rule"])
+
+    def test_findings_sorted_and_relative(self):
+        findings = lint_paths([FIXTURES / "unordered_iteration_bad.py",
+                               FIXTURES / "wall_clock_bad.py"],
+                              root=FIXTURES)
+        keys = [(f.file, f.line, f.rule_id) for f in findings]
+        assert keys == sorted(keys)
+        assert all("/" not in f.file or not f.file.startswith("/")
+                   for f in findings)
+
+    def test_all_rules_registered(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert {"pickle-safety", "unordered-iteration", "unseeded-random",
+                "wall-clock", "hot-path-loop", "hot-path-recursion",
+                "perf-counter-name", "spec-drift", "mutable-default",
+                "spec-not-frozen"} <= ids
+
+
+class TestBaseline:
+    def finding(self, message="m", line=3):
+        return Finding("pkg/mod.py", line, "wall-clock", message)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "base.json"
+        Baseline.from_findings(
+            [self.finding(), self.finding(line=9)]).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert loaded.compare([self.finding()]).new == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_key_ignores_line_numbers(self):
+        baseline = Baseline.from_findings([self.finding(line=3)])
+        assert baseline.compare([self.finding(line=300)]).ok
+
+    def test_new_finding_fails(self):
+        baseline = Baseline.from_findings([self.finding()])
+        comparison = baseline.compare([self.finding(),
+                                       self.finding("other")])
+        assert not comparison.ok
+        assert [f.message for f in comparison.new] == ["other"]
+
+    def test_multiplicity_is_a_budget(self):
+        baseline = Baseline.from_findings([self.finding()])
+        comparison = baseline.compare([self.finding(line=1),
+                                       self.finding(line=2)])
+        assert len(comparison.new) == 1 and len(comparison.known) == 1
+
+    def test_expired_entries_reported(self):
+        baseline = Baseline.from_findings([self.finding("gone")])
+        comparison = baseline.compare([])
+        assert comparison.ok  # stale entries alone do not fail
+        assert comparison.expired == [self.finding("gone").key]
+
+
+class TestCli:
+    def lint(self, *argv):
+        return main(["lint", *argv])
+
+    def test_clean_file_exits_zero(self, capsys):
+        rc = self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                       "--no-baseline", "--root", str(FIXTURES))
+        assert rc == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_seeded_violation_fails(self, tmp_path, capsys):
+        bad = tmp_path / "seeded.py"
+        bad.write_text("import time\nT = time.time()\n")
+        rc = self.lint(str(bad), "--no-baseline", "--root", str(tmp_path))
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[wall-clock]" in out and "new finding" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        rc = self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                       "--select", "no-such-rule")
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_baseline_update_then_clean(self, tmp_path, capsys):
+        bad = tmp_path / "seeded.py"
+        bad.write_text("import time\nT = time.time()\n")
+        baseline = tmp_path / "base.json"
+        assert self.lint(str(bad), "--root", str(tmp_path),
+                         "--baseline", str(baseline),
+                         "--update-baseline") == 0
+        assert self.lint(str(bad), "--root", str(tmp_path),
+                         "--baseline", str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "all baselined" in out
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        bad = tmp_path / "seeded.py"
+        bad.write_text("import time\nT = time.time()\n")
+        report_path = tmp_path / "report.json"
+        rc = self.lint(str(bad), "--no-baseline", "--root", str(tmp_path),
+                       "--format", "json", "--out", str(report_path))
+        assert rc == 1
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert report["counts"]["new"] == 1
+        assert report["findings"][0]["rule"] == "wall-clock"
+        assert report["findings"][0]["file"] == "seeded.py"
+
+    def test_list_rules(self, capsys):
+        assert self.lint("--list-rules") == 0
+        out = capsys.readouterr().out
+        assert "pickle-safety" in out and "spec-drift" in out
+
+
+class TestRepoIsClean:
+    def test_src_lints_clean_against_committed_baseline(self):
+        """The acceptance gate: the tree must satisfy its own linter."""
+        findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+        comparison = baseline.compare(findings)
+        assert comparison.ok, \
+            "new findings: " + "; ".join(f.render()
+                                         for f in comparison.new)
+        assert comparison.expired == []

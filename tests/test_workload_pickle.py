@@ -1,0 +1,77 @@
+"""Pickle-safety regression tests for the workload registry.
+
+PR 1's original bug class: a callable reaching the ``ScenarioSuite``
+process pool that pickles by qualified name but is not importable at
+module level.  These tests round-trip every registered workload's
+provider through ``pickle`` and push suite specs through a *real*
+``ProcessPoolExecutor`` so the bug cannot come back silently.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api import ScenarioSuite, SessionSpec
+from repro.api.workloads import known_workloads, resolve_workload
+from repro.statbench.generator import (
+    DistinctLeafStates,
+    RingHangStates,
+    UniformClassStates,
+)
+
+#: one concrete id per registered workload family, exercising suffixes
+WORKLOAD_IDS = ["ring_hang", "ring_hang:2", "uniform:3",
+                "uniform:3:17", "distinct"]
+
+
+def _call_provider(provider, rank):
+    """Executed in the worker process: provider crossed the pool."""
+    return type(provider(rank)).__name__
+
+
+class TestProvidersPickle:
+    def test_every_builtin_family_is_covered(self):
+        """Other tests may register extra workloads in the global
+        registry, so check the built-ins, not exact equality."""
+        families = {wid.split(":")[0] for wid in WORKLOAD_IDS}
+        assert families == {"ring_hang", "uniform", "distinct"}
+        assert families <= set(known_workloads())
+
+    @pytest.mark.parametrize("workload_id", WORKLOAD_IDS)
+    def test_provider_round_trips(self, workload_id):
+        provider = resolve_workload(workload_id, total_tasks=8, seed=7)
+        clone = pickle.loads(pickle.dumps(provider))
+        for rank in range(8):
+            assert clone(rank) == provider(rank)
+
+    @pytest.mark.parametrize("cls,args", [
+        (RingHangStates, (8, 1)),
+        (UniformClassStates, (8, 3, 17)),
+        (DistinctLeafStates, (8,)),
+    ])
+    def test_generator_classes_round_trip(self, cls, args):
+        provider = cls(*args)
+        clone = pickle.loads(pickle.dumps(provider))
+        assert [clone(r) for r in range(8)] == \
+            [provider(r) for r in range(8)]
+
+    def test_provider_usable_inside_a_worker_process(self):
+        provider = resolve_workload("ring_hang", total_tasks=8, seed=7)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            state_name = pool.submit(_call_provider, provider, 1).result()
+        assert state_name == "RankState"
+
+
+class TestSuiteThroughRealPool:
+    def test_each_workload_survives_the_process_pool(self):
+        """One spec per workload family, executed with real workers."""
+        specs = [SessionSpec(machine="bgl", daemons=3, num_samples=2,
+                             workload=wid, name=wid)
+                 for wid in ("ring_hang", "uniform:3", "distinct")]
+        report = ScenarioSuite(specs).run(max_workers=2, parallel=True)
+        assert len(report) == 3
+        assert all(outcome.ok for outcome in report), \
+            [outcome.error for outcome in report]
+        assert [outcome.name for outcome in report] == \
+            ["ring_hang", "uniform:3", "distinct"]
