@@ -273,10 +273,16 @@ class MergePhase(Phase):
         dead = ctx.dead_daemons
         emulator = ctx.emulator
 
+        # Build the whole forest up front through the vectorized forest
+        # path (bit-identical to per-rank daemon_trees; dead daemons are
+        # excluded so emulation counters match the lazy per-rank path).
+        live = [d for d in range(len(ctx.task_map)) if d not in dead]
+        forest = dict(zip(live, emulator.build_forest(daemon_ids=live)))
+
         def leaf_payload(rank: int) -> DaemonTrees:
             if rank in dead:
                 raise DaemonFailure(f"daemon {rank} unreachable")
-            return emulator.daemon_trees(rank)
+            return forest[rank]
 
         network = TBONetwork(ctx.topology, ctx.machine)
         ctx.merge = network.reduce(

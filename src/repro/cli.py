@@ -103,10 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke scale (64 daemons) instead of the "
                             "fig07 full scale (1,664 daemons)")
-    bench.add_argument("--scale", choices=("fig07", "million"),
+    bench.add_argument("--scale", choices=("fig07", "million",
+                                           "ten-million"),
                        default="fig07",
                        help="'million' adds the 1,048,576-task "
-                            "hierarchical sweep point")
+                            "hierarchical sweep point; 'ten-million' "
+                            "additionally benchmarks construction of a "
+                            "10,485,760-task forest")
     bench.add_argument("--daemons", type=int, default=None,
                        help="override the daemon count")
     bench.add_argument("--samples", type=int, default=None,
@@ -120,6 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", metavar="FILE", default=None,
                        help="checked-in report to compare against "
                             "(fails on >2x regression)")
+    bench.add_argument("--build", action="store_true",
+                       help="also benchmark tree construction (forest "
+                            "vs per-daemon) and write BENCH_build.json")
+    bench.add_argument("--build-out", metavar="FILE",
+                       default="BENCH_build.json",
+                       help="where to write the construction report")
+    bench.add_argument("--build-baseline", metavar="FILE", default=None,
+                       help="checked-in construction report to compare "
+                            "against (fails on >2x regression)")
     bench.add_argument("--seed", type=int, default=208_000)
 
     repro_all = sub.add_parser(
@@ -335,8 +347,10 @@ def _run_bench(args: argparse.Namespace) -> int:
             samples=args.samples,
             repeats=args.repeats,
             quick=args.quick,
-            million=args.scale == "million",
-            seed=args.seed)
+            million=args.scale in ("million", "ten-million"),
+            seed=args.seed,
+            build=args.build,
+            ten_million=args.scale == "ten-million")
     except ValueError as err:
         raise SystemExit(f"bench: {err}")
     print(report.table())
@@ -351,6 +365,22 @@ def _run_bench(args: argparse.Namespace) -> int:
             print(f"baseline: {message}")
         if not ok:
             status = 1
+    if report.build is not None:
+        print()
+        print(report.build.table())
+        report.build.write(args.build_out)
+        print(f"build report written to {args.build_out}")
+        if not report.build.ok:
+            status = 1
+            print("FAIL: forest construction diverged from the "
+                  "per-daemon kernels")
+        if args.build_baseline:
+            ok, messages = check_baseline(report.build,
+                                          args.build_baseline)
+            for message in messages:
+                print(f"build-baseline: {message}")
+            if not ok:
+                status = 1
     return status
 
 

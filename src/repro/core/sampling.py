@@ -1,8 +1,13 @@
-"""Timing model of the daemon sampling phase (Figures 8, 9, 10).
+"""The daemon sampling phase: batch trace acquisition and its timing model.
 
-The *data* side of sampling lives in :class:`~repro.core.daemon.STATDaemon`
-(real trees from real traces); this module computes how long the phase
-takes on the simulated platform.  Per daemon the cost has three parts:
+Two things live here.  :class:`BatchWalkSampler` is the *data* side's
+array kernel — it turns one daemon's interned state ids into interned
+trace ids for a whole sampling instant at once, consuming the daemon's
+RNG bit-for-bit like the scalar :class:`~repro.core.stackwalk.StackWalker`
+loop it replaces (``STATDaemon.sample_many_arrays`` builds trees from its
+output without instantiating a single ``StackTrace``).  The rest of the
+module computes how long the phase takes on the simulated platform.  Per
+daemon the cost has three parts:
 
 1. **Symbol tables** — before a walk, the daemon reads the symbol table
    of the executable and each shared library from wherever it is staged.
@@ -36,12 +41,108 @@ from repro.fs.cache import PageCache
 from repro.fs.mtab import MountTable
 from repro.fs.server import FileServer, LocalDisk
 from repro.machine.base import MachineModel
-from repro.mpi.stacks import StackModel
+from repro.mpi.stacks import SIG_DEPTH, SIG_DEPTH_TOD, SIG_NONE, StackModel
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.random import SeedStream
 
-__all__ = ["SamplingConfig", "SamplingTimeReport", "time_sampling_phase"]
+__all__ = ["BatchWalkSampler", "SamplingConfig", "SamplingTimeReport",
+           "time_sampling_phase"]
+
+
+class BatchWalkSampler:
+    """Array-level twin of a :class:`~repro.core.stackwalk.StackWalker` loop.
+
+    One :meth:`trace_ids` call covers what the scalar path does with
+    ``width x threads_per_process`` individual ``walk`` calls: drawing
+    each walk's progress-engine depth (and timing-leaf coin) from the
+    daemon's RNG and resolving the resulting trace.  The RNG is consumed
+    **bit-for-bit identically** to the scalar loop — batched
+    ``Generator.integers(size=n)`` advances the bit generator exactly as
+    ``n`` scalar calls do — so array-built and object-built trees match
+    exactly.  States whose walks interleave two draw kinds per element
+    (``SIG_DEPTH_TOD``) cannot batch across elements and fall back to a
+    scalar loop over just those elements; in the paper's populations they
+    are rare (one ``Waitall`` rank per hang).
+    """
+
+    __slots__ = ("stack_model", "rng", "threads_per_process")
+
+    def __init__(self, stack_model: StackModel,
+                 rng: Optional[np.random.Generator] = None,
+                 threads_per_process: int = 1) -> None:
+        self.stack_model = stack_model
+        self.rng = rng
+        self.threads_per_process = threads_per_process
+
+    def trace_ids(self, state_ids: np.ndarray) -> np.ndarray:
+        """Interned trace ids for one sampling instant.
+
+        ``state_ids[slot]`` is the interned state of the daemon-local
+        slot; the result has one entry per ``(slot, thread)`` element,
+        slot-major — the exact walk order of
+        :meth:`~repro.core.daemon.STATDaemon.sample_once`.
+        """
+        model = self.stack_model
+        sig_slot = model.state_signatures()[state_ids]
+        threads = self.threads_per_process
+        if threads > 1:
+            sids = np.repeat(state_ids, threads)
+            sigs = np.repeat(sig_slot, threads)
+            tids = np.tile(np.arange(threads, dtype=np.int64),
+                           state_ids.size)
+        else:
+            sids, sigs, tids = state_ids, sig_slot, None
+        n = sids.size
+        low, high = model.DEPTH_RANGE
+        depths = np.zeros(n, dtype=np.int64)
+        tods = np.zeros(n, dtype=bool)
+        rng = self.rng
+        if rng is None or high <= low:
+            depths[sigs != SIG_NONE] = low
+        elif n and sigs[0] == sigs[-1] and (sigs == sigs[0]).all():
+            # Uniform population (the common case at scale): one run.
+            sig = sigs[0]
+            if sig == SIG_DEPTH:
+                depths[:] = rng.integers(low, high + 1, size=n)
+            elif sig == SIG_DEPTH_TOD:
+                for j in range(n):
+                    depths[j] = int(rng.integers(low, high + 1))
+                    tods[j] = rng.random() < model.TOD_THRESHOLD
+        else:
+            # Maximal same-signature runs, in element order: each run
+            # consumes the RNG exactly as its scalar walks would.
+            cuts = np.flatnonzero(np.diff(sigs)) + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [n]))
+            for lo, hi in zip(starts, ends):
+                sig = sigs[lo]
+                if sig == SIG_NONE:
+                    continue
+                if sig == SIG_DEPTH:
+                    depths[lo:hi] = rng.integers(low, high + 1,
+                                                 size=hi - lo)
+                else:  # SIG_DEPTH_TOD: two interleaved draws per element
+                    for j in range(lo, hi):
+                        depths[j] = int(rng.integers(low, high + 1))
+                        tods[j] = rng.random() < model.TOD_THRESHOLD
+        # Map (state, depth, tod, thread) tuples to dense trace ids via
+        # one composite integer key; only the few distinct tuples pay the
+        # per-trace registry lookup.
+        depth_base = high + 1
+        ukeys = (sids * depth_base + depths) * 2 + tods
+        if threads > 1:
+            ukeys = ukeys * threads + tids
+        uniq = np.unique(ukeys)
+        lut = np.empty(uniq.size, dtype=np.int64)
+        for i, packed in enumerate(uniq):
+            packed = int(packed)
+            packed, tid = divmod(packed, threads) if threads > 1 \
+                else (packed, 0)
+            packed, tod = divmod(packed, 2)
+            sid, depth = divmod(packed, depth_base)
+            lut[i] = model.trace_id(sid, depth, bool(tod), tid)
+        return lut[np.searchsorted(uniq, ukeys)]
 
 
 @dataclass(frozen=True)

@@ -308,6 +308,10 @@ class TaskMap:
         return f"TaskMap(daemons={len(self._ranks)}, tasks={self.total_tasks})"
 
 
+#: Memoized single-chunk layouts for :meth:`DaemonLayout.shared`.
+_SHARED_LAYOUTS: Dict[Tuple[int, int], "DaemonLayout"] = {}
+
+
 class DaemonLayout:
     """The ordered set of daemon chunks a :class:`HierarchicalTaskSet` spans.
 
@@ -345,6 +349,30 @@ class DaemonLayout:
     def for_daemon(cls, daemon_id: int, width: int) -> "DaemonLayout":
         """Single-chunk leaf layout."""
         return cls((daemon_id,), (width,))
+
+    @classmethod
+    def shared(cls, daemon_id: int, width: int) -> "DaemonLayout":
+        """Memoized :meth:`for_daemon`: layouts are immutable, and every
+        hierarchical label row of one daemon shares a single layout, so
+        the array build paths reuse one instance per daemon."""
+        key = (daemon_id, width)
+        layout = _SHARED_LAYOUTS.get(key)
+        if layout is None:
+            # Inlined single-chunk construction: the forest build path
+            # makes one layout per daemon, and __init__'s generality
+            # (array conversion, duplicate checks) costs ~20x the
+            # scalar arithmetic a one-chunk layout actually needs.
+            layout = object.__new__(cls)
+            layout.daemon_ids = (int(daemon_id),)
+            layout.widths = (int(width),)
+            nbytes = (int(width) + 7) >> 3
+            layout.byte_sizes = np.array([nbytes], dtype=np.int64)
+            layout.byte_offsets = np.zeros(1, dtype=np.int64)
+            layout.nbytes = nbytes
+            layout.total_tasks = int(width)
+            layout._key = (layout.daemon_ids, layout.widths)
+            _SHARED_LAYOUTS[key] = layout
+        return layout
 
     @classmethod
     def concat(cls, layouts: Sequence["DaemonLayout"]) -> "DaemonLayout":

@@ -36,6 +36,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.buildarrays import dedup_segments
 from repro.core.frames import Frame, StackTrace
 from repro.core.interning import FRAMES
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
@@ -92,6 +93,39 @@ class TreeArrays:
         self._bundle: Optional[np.ndarray] = None
 
     # -- constructors ------------------------------------------------------
+    @classmethod
+    def _trusted(cls, kind: str,
+                 frame_ids: np.ndarray,
+                 parents: np.ndarray,
+                 label_refs: np.ndarray,
+                 level_offsets: np.ndarray,
+                 labels: np.ndarray,
+                 spans: Optional[np.ndarray] = None,
+                 width: Optional[int] = None,
+                 layout: Optional[DaemonLayout] = None) -> "TreeArrays":
+        """Construct from already-validated, correctly-typed arrays.
+
+        The per-daemon array build path assembles thousands of trees from
+        cached plan arrays that were validated once when the plan was
+        built; re-running ``np.asarray`` + shape checks per tree is pure
+        overhead there.  Callers own the invariants ``__init__`` checks.
+        """
+        self = object.__new__(cls)
+        self.kind = kind
+        self.frame_ids = frame_ids
+        self.parents = parents
+        self.label_refs = label_refs
+        self.level_offsets = level_offsets
+        self.labels = labels
+        self.spans = spans
+        self.width = width
+        self.layout = layout
+        self._prefix = None
+        self._levels = None
+        self._ospan = None
+        self._bundle = None
+        return self
+
     @classmethod
     def empty(cls, kind: str, width: Optional[int] = None,
               layout: Optional[DaemonLayout] = None) -> "TreeArrays":
@@ -228,6 +262,27 @@ class TreeArrays:
         if isinstance(other, TreeArrays):
             other = other._prefix_view()
         return self._prefix_view().structurally_equal(other)
+
+    def arrays_equal(self, other: "TreeArrays") -> bool:
+        """Exact array-level equality — every array, order included.
+
+        Stronger than :meth:`structurally_equal` (which ignores child and
+        label-row order): the build equivalence tests use this to pin the
+        vectorized construction path bit-identical to the per-object one.
+        """
+        if not isinstance(other, TreeArrays):
+            return False
+        spans_equal = (self.spans is None) == (other.spans is None) and (
+            self.spans is None or np.array_equal(self.spans, other.spans))
+        return (self.kind == other.kind
+                and self.width == other.width
+                and self.layout == other.layout
+                and np.array_equal(self.frame_ids, other.frame_ids)
+                and np.array_equal(self.parents, other.parents)
+                and np.array_equal(self.label_refs, other.label_refs)
+                and np.array_equal(self.level_offsets, other.level_offsets)
+                and np.array_equal(self.labels, other.labels)
+                and spans_equal)
 
     # -- statistics (array-native: no object tree required) ---------------
     def node_count(self) -> int:
@@ -372,7 +427,7 @@ def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
     out_frames: List[np.ndarray] = []
     out_parents: List[np.ndarray] = []
     out_offsets = [0]
-    group_refs: List[int] = []
+    group_refs: List[np.ndarray] = []
     group_index: dict = {}
     groups: List[Tuple[np.ndarray, np.ndarray]] = []
     out_count = 0
@@ -408,8 +463,14 @@ def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
                                       np.arange(uniq.size + 1))
         trees_sorted = tree_idx[sorted_members]
         refs_sorted = label_refs[sorted_members]
-        for m in range(uniq.size):
-            lo, hi = node_bounds[m], node_bounds[m + 1]
+        # One vectorized dedup over the level's member segments; only the
+        # few *distinct* combinations then pass through the cross-level
+        # group dictionary.
+        refs, reps = dedup_segments(node_bounds,
+                                    (trees_sorted, refs_sorted))
+        gid_of = np.empty(reps.size, dtype=np.int64)
+        for r, rep in enumerate(reps.tolist()):  # repro-lint: disable=hot-path-loop (per distinct contributor combination, not per node)
+            lo, hi = int(node_bounds[rep]), int(node_bounds[rep + 1])
             pair_t = trees_sorted[lo:hi]
             pair_r = refs_sorted[lo:hi]
             ck = (pair_t.tobytes(), pair_r.tobytes())
@@ -417,10 +478,11 @@ def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
             if gid is None:
                 gid = group_index[ck] = len(groups)
                 groups.append((pair_t, pair_r))
-            group_refs.append(gid)
+            gid_of[r] = gid
+        group_refs.append(gid_of[refs])
 
     return (np.concatenate(out_frames),
             np.concatenate(out_parents),
             np.asarray(out_offsets, dtype=np.int64),
-            np.asarray(group_refs, dtype=np.int64),
+            np.concatenate(group_refs),
             groups)

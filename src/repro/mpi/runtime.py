@@ -23,7 +23,7 @@ from repro.sim.engine import Engine, Event, SimulationError
 from repro.sim.process import Process
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "RankState", "RankContext",
-           "MPIRuntime"]
+           "MPIRuntime", "StateInterner", "STATES"]
 
 #: Wildcard source for receives.
 ANY_SOURCE = -1
@@ -65,6 +65,52 @@ class RankState:
     def blocked_in_mpi(self) -> bool:
         """True when the rank is inside an MPI blocking call."""
         return self.kind in ("waitall", "barrier", "recv_wait")
+
+
+class StateInterner:
+    """Process-wide dense ids for sampler-visible ``(kind, where)`` pairs.
+
+    The array build path (``STATDaemon.sample_many_arrays``) moves rank
+    states around as small integers the way :data:`repro.core.interning.FRAMES`
+    moves frames; ``since`` is sampling-irrelevant (stack models never read
+    it), so two states sharing ``(kind, where)`` share an id.  Ids are
+    process-local: anything that crosses a process boundary must carry the
+    ``(kind, where)`` pairs, not the ids.
+    """
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple[str, str], int] = {}
+        self._keys: List[Tuple[str, str]] = []
+
+    def intern(self, kind: str, where: str = "main") -> int:
+        """The dense id for ``(kind, where)``, allocating on first use."""
+        key = (kind, where)
+        sid = self._ids.get(key)
+        if sid is None:
+            sid = self._ids[key] = len(self._keys)
+            self._keys.append(key)
+        return sid
+
+    def key_of(self, sid: int) -> Tuple[str, str]:
+        """The ``(kind, where)`` pair of an interned id."""
+        return self._keys[sid]
+
+    def state_of(self, sid: int) -> RankState:
+        """A canonical :class:`RankState` carrying an interned id's pair."""
+        kind, where = self._keys[sid]
+        return RankState(kind, where)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StateInterner states={len(self._keys)}>"
+
+
+#: The process-wide state registry (the batch sampling path's id space).
+STATES = StateInterner()
 
 
 @dataclass

@@ -21,14 +21,20 @@ Determinism: depth variation draws from a caller-provided RNG, so sampled
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.frames import Frame, StackTrace
-from repro.mpi.runtime import RankState
+from repro.mpi.runtime import STATES, RankState
 
-__all__ = ["StackModel", "BGLStackModel", "LinuxStackModel"]
+__all__ = ["StackModel", "BGLStackModel", "LinuxStackModel",
+           "SIG_NONE", "SIG_DEPTH", "SIG_DEPTH_TOD"]
+
+#: draw signatures — which RNG values one ``trace_for`` call consumes
+SIG_NONE = 0        # no draws
+SIG_DEPTH = 1       # one ``integers`` draw (progress-engine depth)
+SIG_DEPTH_TOD = 2   # one ``integers`` then one ``random`` draw
 
 
 class StackModel:
@@ -39,11 +45,32 @@ class StackModel:
     #: module name of the MPI library (drives symbol-table staging)
     mpi_module = "libmpi"
 
+    #: state kinds whose ``trace_for`` consumes one depth draw
+    DEPTH_KINDS: frozenset = frozenset()
+    #: kinds that consume one depth draw *then* one timing-leaf draw
+    TOD_KINDS: frozenset = frozenset()
+    #: inclusive ``(low, high)`` range of the depth draw
+    DEPTH_RANGE: Tuple[int, int] = (0, 0)
+    #: probability of catching the timing leaf (``TOD_KINDS`` only)
+    TOD_THRESHOLD: float = 0.0
+
     def __init__(self) -> None:
         # Distinct traces are few (state kinds x depth draws); memoizing
         # them makes full-machine emulation (millions of walks) cheap and
         # lets identical traces share one immutable StackTrace instance.
         self._trace_cache: dict = {}
+        # Batch-path registries: dense trace ids over (state id, drawn
+        # values), their frame-id paths, and memoized tree structures
+        # keyed by ordered distinct-trace tuples (core/buildarrays.py).
+        self._trace_frames: List[np.ndarray] = []
+        self._trace_ids: dict = {}
+        self._sig_cache: Optional[np.ndarray] = None
+        self._paths_matrix: Optional[np.ndarray] = None
+        self._paths_depths: Optional[np.ndarray] = None
+        self.struct_cache: dict = {}
+        # Dense composite-key -> trace-id table for the forest kernel
+        # (core/forest.py): grown lazily, -1 marks unmapped keys.
+        self.ukey_lut: Optional[np.ndarray] = None
 
     def _cached(self, key: tuple, builder) -> StackTrace:
         trace = self._trace_cache.get(key)
@@ -57,6 +84,69 @@ class StackModel:
                   thread_id: int = 0) -> StackTrace:
         """Stack trace for one sampled instant."""
         raise NotImplementedError
+
+    def trace_from_parts(self, kind: str, where: str, depth: int,
+                         tod: bool, thread_id: int) -> StackTrace:
+        """The trace ``trace_for`` would return for already-drawn values.
+
+        Shares ``_trace_cache`` with the scalar path (same key tuples), so
+        batch and scalar sampling hand out the *same* memoized
+        :class:`StackTrace` instances.
+        """
+        raise NotImplementedError
+
+    # -- batch sampling support (core/sampling.py) -------------------------
+    def state_signatures(self) -> np.ndarray:
+        """Per interned state id: the draw signature of one walk.
+
+        Grown lazily as :data:`~repro.mpi.runtime.STATES` grows; the batch
+        walk sampler indexes this with state-id arrays to replicate the
+        scalar RNG consumption exactly.
+        """
+        n = len(STATES)
+        sigs = self._sig_cache
+        if sigs is None or sigs.size < n:
+            out = np.zeros(n, dtype=np.int8)
+            for sid in range(n):
+                kind = STATES.key_of(sid)[0]
+                if kind in self.TOD_KINDS:
+                    out[sid] = SIG_DEPTH_TOD
+                elif kind in self.DEPTH_KINDS:
+                    out[sid] = SIG_DEPTH
+            self._sig_cache = sigs = out
+        return sigs
+
+    def trace_id(self, sid: int, depth: int, tod: bool,
+                 thread_id: int) -> int:
+        """Dense id of the trace for one (state id, drawn values) tuple."""
+        key = (sid, depth, tod, thread_id)
+        tid = self._trace_ids.get(key)
+        if tid is None:
+            kind, where = STATES.key_of(sid)
+            trace = self.trace_from_parts(kind, where, depth, tod, thread_id)
+            tid = self._trace_ids[key] = len(self._trace_frames)
+            self._trace_frames.append(
+                np.asarray(trace.frame_ids(), dtype=np.int64))
+            self._paths_matrix = None
+        return tid
+
+    def trace_paths(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(padded frame-id matrix, depths)`` over registered trace ids.
+
+        Row ``t`` holds trace ``t``'s interned frame ids, ``-1``-padded to
+        the deepest registered trace; rebuilt lazily when new traces
+        register.
+        """
+        m = self._paths_matrix
+        if m is None:
+            depths = np.asarray([p.size for p in self._trace_frames],
+                                dtype=np.int64)
+            width = int(depths.max()) if depths.size else 0
+            m = np.full((depths.size, width), -1, dtype=np.int64)
+            for t, path in enumerate(self._trace_frames):
+                m[t, :path.size] = path
+            self._paths_matrix, self._paths_depths = m, depths
+        return m, self._paths_depths
 
     def mean_depth(self) -> float:
         """Expected frame count (used by sampling cost models)."""
@@ -76,6 +166,11 @@ class BGLStackModel(StackModel):
     app_module = "ring_test_bgl"
     mpi_module = "ring_test_bgl"  # statically linked: one module
 
+    DEPTH_KINDS = frozenset({"barrier", "allreduce", "bcast"})
+    TOD_KINDS = frozenset({"waitall", "recv_wait"})
+    DEPTH_RANGE = (1, 3)
+    TOD_THRESHOLD = 0.15
+
     BASE = ("_start_blrts", "main")
 
     def _progress_engine(self, depth: int) -> List[str]:
@@ -92,16 +187,22 @@ class BGLStackModel(StackModel):
         kind = state.kind
         depth = 0
         tod = False
-        if kind in ("barrier", "allreduce", "bcast"):
-            depth = _draw_depth(rng, 1, 3)
-        elif kind in ("waitall", "recv_wait"):
-            depth = _draw_depth(rng, 1, 3)
+        if kind in self.DEPTH_KINDS:
+            depth = _draw_depth(rng, *self.DEPTH_RANGE)
+        elif kind in self.TOD_KINDS:
+            depth = _draw_depth(rng, *self.DEPTH_RANGE)
             # Occasionally the walker catches the timing call instead of
             # the messager (the __gettimeofday leaf in Figure 1).
-            tod = rng is not None and rng.random() < 0.15
+            tod = rng is not None and rng.random() < self.TOD_THRESHOLD
         key = (kind, state.where, depth, tod, thread_id)
         return self._cached(key, lambda: self._build(kind, state.where,
                                                      depth, tod, thread_id))
+
+    def trace_from_parts(self, kind: str, where: str, depth: int,
+                         tod: bool, thread_id: int) -> StackTrace:
+        key = (kind, where, depth, tod, thread_id)
+        return self._cached(key, lambda: self._build(kind, where, depth,
+                                                     tod, thread_id))
 
     def _build(self, kind: str, where: str, depth: int, tod: bool,
                thread_id: int) -> StackTrace:
@@ -149,6 +250,10 @@ class LinuxStackModel(StackModel):
     app_module = "ring_test"
     mpi_module = "libmpi.so"
 
+    DEPTH_KINDS = frozenset({"barrier", "waitall", "recv_wait",
+                             "allreduce", "bcast"})
+    DEPTH_RANGE = (1, 2)
+
     BASE = ("_start", "__libc_start_main", "main")
 
     def _progress(self, depth: int) -> List[str]:
@@ -169,12 +274,17 @@ class LinuxStackModel(StackModel):
                   thread_id: int = 0) -> StackTrace:
         kind = state.kind
         depth = 0
-        if kind in ("barrier", "waitall", "recv_wait", "allreduce",
-                    "bcast"):
-            depth = _draw_depth(rng, 1, 2)
+        if kind in self.DEPTH_KINDS:
+            depth = _draw_depth(rng, *self.DEPTH_RANGE)
         key = (kind, state.where, depth, False, thread_id)
         return self._cached(key, lambda: self._build(kind, state.where,
                                                      depth, thread_id))
+
+    def trace_from_parts(self, kind: str, where: str, depth: int,
+                         tod: bool, thread_id: int) -> StackTrace:
+        key = (kind, where, depth, False, thread_id)
+        return self._cached(key, lambda: self._build(kind, where, depth,
+                                                     thread_id))
 
     def _build(self, kind: str, where: str, depth: int,
                thread_id: int) -> StackTrace:

@@ -43,7 +43,8 @@ from repro.statbench import ring_hang_states
 from repro.statbench.emulator import STATBenchEmulator
 
 __all__ = ["BenchEntry", "BenchReport", "run_bench", "check_baseline",
-           "FULL_DAEMONS", "MILLION_DAEMONS", "BENCH_VERSION"]
+           "FULL_DAEMONS", "MILLION_DAEMONS", "TEN_MILLION_DAEMONS",
+           "BENCH_VERSION"]
 
 BENCH_VERSION = 1
 #: fig07 full scale: 1,664 I/O nodes; VN mode: 128 tasks per daemon.
@@ -51,6 +52,11 @@ FULL_DAEMONS = 1664
 VN_TASKS_PER_DAEMON = 128
 #: the million-task sweep point: 8,192 x 128 = 1,048,576 tasks.
 MILLION_DAEMONS = 8192
+#: the ten-million-task sweep point: 81,920 x 128 = 10,485,760 tasks.
+TEN_MILLION_DAEMONS = 81920
+#: daemons spot-checked (and extrapolated from) when the full per-daemon
+#: reference build would dominate the bench wall clock.
+BUILD_REFERENCE_SAMPLE = 32
 REGRESSION_FACTOR = 2.0
 
 
@@ -71,6 +77,9 @@ class BenchEntry:
     vectorized_seconds: float = 0.0
     speedup: float = 0.0
     equal: bool = False
+    #: True when reference_seconds was extrapolated from a daemon sample
+    #: (and equality spot-checked on that sample) instead of a full run.
+    reference_skipped: bool = False
     counters: Dict[str, float] = field(default_factory=dict)
 
 
@@ -83,6 +92,9 @@ class BenchReport:
     seed: int = 208_000
     entries: List[BenchEntry] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: construction benchmark piggybacked by ``run_bench(build=True)``;
+    #: written separately (BENCH_build.json), never serialized inline.
+    build: Optional["BenchReport"] = None
 
     @property
     def ok(self) -> bool:
@@ -117,13 +129,23 @@ class BenchReport:
         return "\n".join(lines)
 
 
-def _best(fn, repeats: int) -> float:
+def _best(fn, repeats: int, before=None):
+    """Best-of-``repeats`` timing; returns ``(seconds, last_result)``.
+
+    The runs are deterministic, so reusing the last result for
+    verification avoids re-running the kernels after timing.  ``before``
+    (e.g. ``PERF.reset``) runs ahead of every repeat, leaving the
+    counters scoped to exactly one pass.
+    """
     best = float("inf")
+    result = None
     for _ in range(repeats):
+        if before is not None:
+            before()
         start = time.perf_counter()
-        fn()
+        result = fn()
         best = min(best, time.perf_counter() - start)
-    return best
+    return best, result
 
 
 def _bench_scheme(scheme: LabelScheme, daemons: int, samples: int,
@@ -136,29 +158,25 @@ def _bench_scheme(scheme: LabelScheme, daemons: int, samples: int,
         ring_hang_states(tasks), num_samples=samples, seed=seed)
 
     start = time.perf_counter()
-    pairs = [emulator.daemon_trees(d) for d in range(daemons)]
+    pairs = emulator.build_forest()
     build_seconds = time.perf_counter() - start
     arrays_2d: List[TreeArrays] = [p.tree_2d for p in pairs]
     arrays_3d: List[TreeArrays] = [p.tree_3d for p in pairs]
     objects_2d = [a.to_prefix_tree() for a in arrays_2d]
     objects_3d = [a.to_prefix_tree() for a in arrays_3d]
 
-    reference_seconds = _best(
+    reference_seconds, (ref_2d, ref_3d) = _best(
         lambda: (reference_merge(scheme.name, objects_2d),
                  reference_merge(scheme.name, objects_3d)), repeats)
-    vectorized_seconds = _best(
-        lambda: (scheme.merge(arrays_2d), scheme.merge(arrays_3d)), repeats)
-
-    # Counters snapshot exactly one 2D+3D merge pass (the verification
-    # merges below), so BENCH_merge.json values don't scale with --repeats.
-    PERF.reset()
-    merged_2d = scheme.merge(arrays_2d)
-    merged_3d = scheme.merge(arrays_3d)
+    # PERF.reset before each repeat scopes the counters snapshot to
+    # exactly one 2D+3D merge pass, so BENCH_merge.json values don't
+    # scale with --repeats.
+    vectorized_seconds, (merged_2d, merged_3d) = _best(
+        lambda: (scheme.merge(arrays_2d), scheme.merge(arrays_3d)),
+        repeats, before=PERF.reset)
     counters = PERF.snapshot()["counts"]
-    equal = (merged_2d.structurally_equal(reference_merge(scheme.name,
-                                                          objects_2d))
-             and merged_3d.structurally_equal(reference_merge(scheme.name,
-                                                              objects_3d)))
+    equal = (merged_2d.structurally_equal(ref_2d)
+             and merged_3d.structurally_equal(ref_3d))
     return BenchEntry(
         name=f"{scheme.name}-vn-{daemons}",
         scheme=scheme.name,
@@ -178,19 +196,80 @@ def _bench_scheme(scheme: LabelScheme, daemons: int, samples: int,
     )
 
 
+def _bench_build(scheme: LabelScheme, daemons: int, samples: int,
+                 repeats: int, seed: int,
+                 sample_reference: bool = False) -> BenchEntry:
+    """Time forest-scope vs per-daemon tree construction for one scale.
+
+    Both paths are bit-exact reproductions of the same population, so
+    ``equal`` asserts ``arrays_equal`` on every daemon's 2D and 3D tree
+    (on a :data:`BUILD_REFERENCE_SAMPLE`-daemon spot check when
+    ``sample_reference`` extrapolates the reference timing instead of
+    running all daemons through the per-daemon kernel).
+    """
+    tasks = daemons * VN_TASKS_PER_DAEMON
+    task_map = TaskMap.block(daemons, VN_TASKS_PER_DAEMON)
+    model = BGLStackModel()
+    states = ring_hang_states(tasks)
+
+    def fresh() -> STATBenchEmulator:
+        return STATBenchEmulator(task_map, scheme, model, states,
+                                 num_samples=samples, seed=seed)
+
+    vectorized_seconds, pairs = _best(
+        lambda: fresh().build_forest(), repeats)
+
+    ref_ids = list(range(daemons)) if not sample_reference else \
+        list(range(0, daemons, max(1, daemons // BUILD_REFERENCE_SAMPLE))
+             )[:BUILD_REFERENCE_SAMPLE]
+    reference = fresh()
+    start = time.perf_counter()
+    ref_pairs = [reference.daemon_trees(d) for d in ref_ids]
+    reference_seconds = time.perf_counter() - start
+    if sample_reference:
+        reference_seconds *= daemons / len(ref_ids)
+
+    equal = all(
+        got.tree_2d.arrays_equal(want.tree_2d)
+        and got.tree_3d.arrays_equal(want.tree_3d)
+        for got, want in zip((pairs[d] for d in ref_ids), ref_pairs))
+    return BenchEntry(
+        name=f"build-{scheme.name}-vn-{daemons}",
+        scheme=scheme.name,
+        daemons=daemons,
+        tasks=tasks,
+        samples=samples,
+        repeats=repeats,
+        build_seconds=vectorized_seconds,
+        reference_seconds=reference_seconds,
+        vectorized_seconds=vectorized_seconds,
+        speedup=reference_seconds / vectorized_seconds
+        if vectorized_seconds else float("inf"),
+        equal=equal,
+        reference_skipped=sample_reference,
+    )
+
+
 def run_bench(daemons: Optional[int] = None,
               samples: Optional[int] = None,
               repeats: Optional[int] = None,
               quick: bool = False,
               million: bool = False,
               seed: int = 208_000,
+              build: bool = False,
+              ten_million: bool = False,
               progress=print) -> BenchReport:
     """Run the merge-kernel benchmark suite.
 
     ``quick`` shrinks the *defaults* to a CI-speed smoke scale
     (64 daemons, 4 samples, 3 repeats); explicitly passed values always
     win.  ``million`` appends the 1,048,576-task hierarchical sweep
-    point.
+    point.  ``build`` additionally benchmarks tree *construction*
+    (forest-scope vs per-daemon) and attaches the result as
+    ``report.build`` — a second :class:`BenchReport` the CLI writes to
+    ``BENCH_build.json``.  ``ten_million`` (implies ``build``) appends
+    the 10,485,760-task construction point, whose per-daemon reference
+    timing is extrapolated from a daemon sample.
     """
     daemons = daemons if daemons is not None else (64 if quick
                                                    else FULL_DAEMONS)
@@ -215,6 +294,38 @@ def run_bench(daemons: Optional[int] = None,
                               seed=seed)
         entry.name = f"optimized-vn-{MILLION_DAEMONS}-million"
         report.entries.append(entry)
+    if build or ten_million:
+        build_start = time.perf_counter()
+        build_report = BenchReport(seed=seed,
+                                   workload="fig07-ring-hang-bgl-build")
+        for scheme in (DenseLabelScheme(daemons * VN_TASKS_PER_DAEMON),
+                       HierarchicalLabelScheme()):
+            progress(f"bench: build path — {scheme.name} scheme, "
+                     f"{daemons} daemons ...")
+            build_report.entries.append(
+                _bench_build(scheme, daemons, samples, repeats, seed))
+        if million:
+            progress(f"bench: build path — million-task point, "
+                     f"{MILLION_DAEMONS} daemons ...")
+            entry = _bench_build(HierarchicalLabelScheme(),
+                                 MILLION_DAEMONS, samples=2,
+                                 repeats=max(2, repeats // 2), seed=seed)
+            entry.name = f"build-optimized-vn-{MILLION_DAEMONS}-million"
+            build_report.entries.append(entry)
+        if ten_million:
+            tasks = TEN_MILLION_DAEMONS * VN_TASKS_PER_DAEMON
+            progress(f"bench: build path — ten-million-task point, "
+                     f"{TEN_MILLION_DAEMONS} daemons ({tasks} tasks; "
+                     f"reference extrapolated from a daemon sample) ...")
+            entry = _bench_build(HierarchicalLabelScheme(),
+                                 TEN_MILLION_DAEMONS, samples=2,
+                                 repeats=2, seed=seed,
+                                 sample_reference=True)
+            entry.name = (f"build-optimized-vn-{TEN_MILLION_DAEMONS}"
+                          "-ten-million")
+            build_report.entries.append(entry)
+        build_report.wall_seconds = time.perf_counter() - build_start
+        report.build = build_report
     report.wall_seconds = time.perf_counter() - start
     return report
 

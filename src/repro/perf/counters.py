@@ -29,6 +29,8 @@ __all__ = [
     "PerfCounters", "PERF",
     "MERGE_CALLS", "MERGE_TREES_IN", "MERGE_KERNEL_SECONDS",
     "MERGE_NODES_OUT", "MERGE_LABEL_GROUPS", "MERGE_LABEL_BYTES_OUT",
+    "BUILD_DAEMONS", "BUILD_TRACES", "BUILD_STRUCT_HITS",
+    "BUILD_STRUCT_MISSES",
     "TBON_REDUCTIONS", "TBON_BYTES", "TBON_MESSAGES",
     "TBON_REDUCE_WALL_SECONDS",
     "KNOWN_COUNTERS", "pipeline_runs", "pipeline_wall_seconds",
@@ -53,6 +55,14 @@ MERGE_NODES_OUT = "merge.nodes_out"
 MERGE_LABEL_GROUPS = "merge.label_groups"
 #: bytes of label matrix in merged outputs
 MERGE_LABEL_BYTES_OUT = "merge.label_bytes_out"
+#: daemons built through the vectorized array path (``core/daemon.py``)
+BUILD_DAEMONS = "build.daemons"
+#: sampled (slot x thread x sample) elements on the array build path
+BUILD_TRACES = "build.traces"
+#: per-daemon trees served from the shared structure cache
+BUILD_STRUCT_HITS = "build.struct_cache_hits"
+#: tree structures built by the BFS array kernel (cache misses)
+BUILD_STRUCT_MISSES = "build.struct_cache_misses"
 #: TBO̅N reduction operations (``tbon/network.py``)
 TBON_REDUCTIONS = "tbon.reductions"
 #: simulated payload bytes moved by reductions
@@ -66,6 +76,7 @@ TBON_REDUCE_WALL_SECONDS = "tbon.reduce_wall_seconds"
 KNOWN_COUNTERS = frozenset({
     MERGE_CALLS, MERGE_TREES_IN, MERGE_KERNEL_SECONDS, MERGE_NODES_OUT,
     MERGE_LABEL_GROUPS, MERGE_LABEL_BYTES_OUT,
+    BUILD_DAEMONS, BUILD_TRACES, BUILD_STRUCT_HITS, BUILD_STRUCT_MISSES,
     TBON_REDUCTIONS, TBON_BYTES, TBON_MESSAGES,
     TBON_REDUCE_WALL_SECONDS,
 })

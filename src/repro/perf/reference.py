@@ -1,22 +1,24 @@
-"""Retained reference merge kernels (pre-vectorization).
+"""Retained reference kernels (pre-vectorization).
 
-These are the recursive, per-node, pairwise-union merge implementations
-that :mod:`repro.core.merge` shipped before the vectorized k-way kernels
-landed.  They are kept verbatim for two jobs:
+These are the per-object implementations the repo shipped before the
+vectorized rewrites landed — the recursive pairwise-union *merge*
+kernels, and the scalar-walk *build* path (one ``StackWalker.walk`` per
+slot/thread into ``PrefixTree`` slot trees).  They are kept for two
+jobs:
 
-* the equivalence property tests (``tests/test_merge_equivalence.py``)
-  assert that the vectorized kernels produce bit-identical trees on
-  randomized inputs, for both label schemes;
-* ``stat-repro bench`` measures the vectorized kernels *against* them on
-  the fig07 full-scale workload and records the speedup in
-  ``BENCH_merge.json``.
+* the equivalence property tests (``tests/test_merge_equivalence.py``,
+  ``tests/test_build_equivalence.py``) assert that the vectorized
+  kernels produce bit-identical trees on randomized inputs;
+* ``stat-repro bench`` measures the vectorized kernels *against* them
+  and records the speedups in ``BENCH_merge.json`` /
+  ``BENCH_build.json``.
 
 Do not "improve" these: their value is being the frozen baseline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +30,7 @@ __all__ = [
     "reference_dense_merge",
     "reference_hierarchical_merge",
     "reference_merge",
+    "reference_daemon_trees",
 ]
 
 
@@ -105,3 +108,29 @@ def reference_merge(scheme_name: str,
     if scheme_name == "optimized":
         return reference_hierarchical_merge(trees)
     raise ValueError(f"unknown scheme name {scheme_name!r}")
+
+
+def reference_daemon_trees(daemon_id: int, task_map, scheme, stack_model,
+                           state_of: Callable, num_samples: int = 10,
+                           threads_per_process: int = 1,
+                           seed: int = 208_000):
+    """Build one daemon's ``(2D, 3D)`` trees through the per-object path.
+
+    This is the frozen pre-vectorization emulator hot path: scalar walks
+    (one RNG draw sequence per slot/thread) into slot-set prefix trees,
+    then object-level label materialization.  The per-daemon RNG is
+    derived exactly as :class:`~repro.statbench.emulator.STATBenchEmulator`
+    derives it (``SeedStream(seed).rng(f"daemon-{id}")``), so for any
+    state provider the result must be bit-identical to the array path's
+    for the same arguments.  ``state_of`` is always consumed through its
+    scalar ``__call__`` — a provider's batch API is deliberately ignored.
+    """
+    from repro.core.daemon import STATDaemon
+    from repro.sim.random import SeedStream
+
+    daemon = STATDaemon(
+        daemon_id, task_map, scheme, stack_model,
+        rng=SeedStream(seed).rng(f"daemon-{daemon_id}"),
+        threads_per_process=threads_per_process)
+    daemon.collect_samples(state_of, num_samples)
+    return daemon.trees_arrays()

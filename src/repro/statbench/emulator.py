@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Callable
 
+from typing import List, Optional
+
 from repro.core.daemon import STATDaemon
+from repro.core.forest import build_forest as _build_forest_arrays
 from repro.core.merge import LabelScheme
 from repro.core.prefix_tree import PrefixTree
 from repro.core.taskset import TaskMap
@@ -76,16 +79,53 @@ class STATBenchEmulator:
         """Build daemon ``daemon_id``'s locally merged 2D+3D trees.
 
         Deterministic per (seed, daemon): the same daemon always samples
-        the same traces regardless of emulation order.
+        the same traces regardless of emulation order.  Providers
+        exposing the batch ``states_array`` API (all statbench
+        generators) build through the vectorized array path
+        (:meth:`~repro.core.daemon.STATDaemon.sample_many_arrays`);
+        plain callables — e.g. a live runtime's ``state_of`` — keep the
+        per-object path.  Both yield bit-identical trees for the same
+        seed.
         """
         rng = self._seeds.rng(f"daemon-{daemon_id}")
         daemon = STATDaemon(
             daemon_id, self.task_map, self.scheme, self.stack_model,
             rng=rng, threads_per_process=self.threads_per_process)
-        daemon.collect_samples(self.state_of, self.num_samples)
-        tree_2d, tree_3d = daemon.trees_arrays()
+        batch = getattr(self.state_of, "states_array", None)
+        if batch is not None:
+            tree_2d, tree_3d = daemon.sample_many_arrays(
+                batch, self.num_samples)
+        else:
+            daemon.collect_samples(self.state_of, self.num_samples)
+            tree_2d, tree_3d = daemon.trees_arrays()
         self.daemons_emulated += 1
         return DaemonTrees(tree_2d, tree_3d)
+
+    def build_forest(self, daemon_ids: Optional[List[int]] = None
+                     ) -> List[DaemonTrees]:
+        """Build many daemons' trees in one forest-scope pass.
+
+        Semantically ``[self.daemon_trees(d) for d in daemon_ids]`` (all
+        daemons when ``daemon_ids`` is ``None``) and bit-identical to
+        it, but element analysis runs over the whole population at once
+        (:func:`repro.core.forest.build_forest`), which is what makes
+        million-task sweep points build in under a second.  Providers
+        without the batch ``states_array`` API fall back to the
+        per-daemon path.
+        """
+        batch = getattr(self.state_of, "states_array", None)
+        if batch is None:
+            ids = range(len(self.task_map)) if daemon_ids is None \
+                else daemon_ids
+            return [self.daemon_trees(d) for d in ids]
+        pairs = _build_forest_arrays(
+            self.task_map, self.scheme, self.stack_model, batch,
+            self.num_samples,
+            lambda d: self._seeds.rng(f"daemon-{d}"),
+            daemon_ids=daemon_ids,
+            threads_per_process=self.threads_per_process)
+        self.daemons_emulated += len(pairs)
+        return [DaemonTrees(t2, t3) for t2, t3 in pairs]
 
     def merge_filter(self):
         """Merge callable over :class:`DaemonTrees` payloads."""

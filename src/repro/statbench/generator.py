@@ -4,6 +4,20 @@ Each generator returns ``state_of(rank) -> RankState`` — the same callable
 the live MPI runtime exposes — so daemons and benchmarks are agnostic to
 whether an application actually ran.
 
+Every provider additionally implements the **batch API**
+``states_array(ranks) -> int64[n]`` returning interned state ids
+(:data:`repro.mpi.runtime.STATES`) for a whole rank array at once.  The
+emulator dispatches on its presence: providers with ``states_array`` take
+the vectorized build path (``STATDaemon.sample_many_arrays``), anything
+else — e.g. a live runtime's ``state_of`` bound method — falls back to
+the per-object path.  The two APIs must describe the same population:
+``STATES.key_of(states_array([r])[0]) == (state_of(r).kind,
+state_of(r).where)`` for every rank (pinned by
+``tests/test_build_equivalence.py``).  State ids are process-local, so
+providers intern on every call instead of caching id arrays — that keeps
+them trivially picklable across :class:`~repro.api.suite.ScenarioSuite`
+process pools.
+
 The providers are module-level callable classes, not closures: workload
 objects carry their provider, and anything a workload object touches can
 ride a :class:`~repro.api.suite.ScenarioSuite` spec across a
@@ -17,7 +31,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
-from repro.mpi.runtime import RankState
+from repro.mpi.runtime import STATES, RankState
 
 __all__ = ["ring_hang_states", "uniform_class_states", "distinct_leaf_states",
            "RingHangStates", "UniformClassStates", "DistinctLeafStates"]
@@ -47,6 +61,14 @@ class RingHangStates:
         if rank == self.blocked_rank:
             return RankState("waitall")
         return RankState("barrier")
+
+    def states_array(self, ranks: np.ndarray) -> np.ndarray:
+        """Interned state ids for a rank array (batch twin of ``__call__``)."""
+        r = np.asarray(ranks, dtype=np.int64)
+        out = np.full(r.size, STATES.intern("barrier"), dtype=np.int64)
+        out[r == self.hang_rank] = STATES.intern("stall", "do_SendOrStall")
+        out[r == self.blocked_rank] = STATES.intern("waitall")
+        return out
 
 
 def ring_hang_states(total_tasks: int, hang_rank: int = 1) -> StateProvider:
@@ -103,6 +125,13 @@ class UniformClassStates:
     def __call__(self, rank: int) -> RankState:
         return self.states[int(self.assignment[rank])]
 
+    def states_array(self, ranks: np.ndarray) -> np.ndarray:
+        """Interned state ids for a rank array (batch twin of ``__call__``)."""
+        class_sids = np.asarray(
+            [STATES.intern(st.kind, st.where) for st in self.states],
+            dtype=np.int64)
+        return class_sids[self.assignment[np.asarray(ranks, dtype=np.int64)]]
+
 
 def uniform_class_states(total_tasks: int, num_classes: int,
                          seed: int = 0) -> StateProvider:
@@ -122,6 +151,13 @@ class DistinctLeafStates:
 
     def __call__(self, rank: int) -> RankState:
         return RankState("compute", f"do_phase_{rank}")
+
+    def states_array(self, ranks: np.ndarray) -> np.ndarray:
+        """Interned state ids for a rank array (batch twin of ``__call__``)."""
+        return np.asarray(
+            [STATES.intern("compute", f"do_phase_{int(r)}")
+             for r in np.asarray(ranks, dtype=np.int64)],
+            dtype=np.int64)
 
 
 def distinct_leaf_states(total_tasks: int) -> StateProvider:

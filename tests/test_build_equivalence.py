@@ -1,0 +1,213 @@
+"""Randomized property tests pinning the vectorized build paths.
+
+Three layers must agree bit for bit for any (seed, provider, map,
+scheme, model) combination:
+
+* the frozen per-object reference path
+  (:func:`repro.perf.reference.reference_daemon_trees`);
+* the per-daemon array path
+  (:meth:`repro.core.daemon.STATDaemon.sample_many_arrays`, reached via
+  :meth:`STATBenchEmulator.daemon_trees`);
+* the forest-scope path (:func:`repro.core.forest.build_forest`,
+  reached via :meth:`STATBenchEmulator.build_forest`).
+
+``TreeArrays.arrays_equal`` asserts *every* array including row order —
+stronger than structural equality — so these tests pin the vectorized
+kernels to the exact construction the per-object code performs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import build_forest
+from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.core.taskset import TaskMap
+from repro.mpi.runtime import STATES
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel
+from repro.perf.reference import reference_daemon_trees
+from repro.sim.random import SeedStream
+from repro.statbench.emulator import STATBenchEmulator
+from repro.statbench.generator import (
+    distinct_leaf_states,
+    ring_hang_states,
+    uniform_class_states,
+)
+
+
+def _providers(total, prov_seed):
+    return [
+        ("ring", ring_hang_states(total)),
+        ("uniform", uniform_class_states(total, 4, seed=prov_seed)),
+        ("distinct", distinct_leaf_states(total)),
+    ]
+
+
+def _maps(rng):
+    daemons = int(rng.integers(3, 7))
+    width = int(rng.integers(3, 12))
+    kind = rng.choice(["block", "cyclic", "shuffled"])
+    if kind == "block":
+        return TaskMap.block(daemons, width)
+    if kind == "cyclic":
+        return TaskMap.cyclic(daemons, width)
+    return TaskMap.shuffled(daemons, width, rng)
+
+
+def _schemes(total):
+    return [HierarchicalLabelScheme(), DenseLabelScheme(total)]
+
+
+def _assert_pairs_equal(got, want, context):
+    assert got.tree_2d.arrays_equal(want.tree_2d), f"2D diverged: {context}"
+    assert got.tree_3d.arrays_equal(want.tree_3d), f"3D diverged: {context}"
+
+
+class TestForestVsPerDaemon:
+    """build_forest must be bit-identical to daemon_trees everywhere."""
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_randomized_populations(self, trial):
+        rng = np.random.default_rng(9200 + trial)
+        task_map = _maps(rng)
+        total = task_map.total_tasks
+        seed = int(rng.integers(1, 1 << 20))
+        samples = int(rng.integers(1, 4))
+        model_cls = BGLStackModel if trial % 2 == 0 else LinuxStackModel
+        for pname, provider in _providers(total, prov_seed=trial):
+            for scheme in _schemes(total):
+                per_daemon = STATBenchEmulator(
+                    task_map, scheme, model_cls(), provider,
+                    num_samples=samples, seed=seed)
+                forest = STATBenchEmulator(
+                    task_map, scheme, model_cls(), provider,
+                    num_samples=samples, seed=seed)
+                want = [per_daemon.daemon_trees(d)
+                        for d in range(len(task_map))]
+                got = forest.build_forest()
+                assert len(got) == len(want)
+                for d, (g, w) in enumerate(zip(got, want)):
+                    _assert_pairs_equal(
+                        g, w, f"trial={trial} provider={pname} "
+                              f"scheme={scheme.name} daemon={d}")
+
+    def test_matches_per_object_reference(self):
+        rng = np.random.default_rng(417)
+        for trial in range(3):
+            task_map = _maps(rng)
+            total = task_map.total_tasks
+            seed = int(rng.integers(1, 1 << 20))
+            for pname, provider in _providers(total, prov_seed=trial):
+                for scheme in _schemes(total):
+                    emulator = STATBenchEmulator(
+                        task_map, scheme, BGLStackModel(), provider,
+                        num_samples=2, seed=seed)
+                    got = emulator.build_forest()
+                    for d in range(len(task_map)):
+                        ref_2d, ref_3d = reference_daemon_trees(
+                            d, task_map, scheme, BGLStackModel(),
+                            provider, num_samples=2, seed=seed)
+                        context = (f"trial={trial} provider={pname} "
+                                   f"scheme={scheme.name} daemon={d}")
+                        assert got[d].tree_2d.arrays_equal(ref_2d), context
+                        assert got[d].tree_3d.arrays_equal(ref_3d), context
+
+    def test_daemon_ids_subset_matches_full_population(self):
+        task_map = TaskMap.cyclic(6, 5)
+        provider = ring_hang_states(task_map.total_tasks)
+        scheme = HierarchicalLabelScheme()
+        full = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                 provider, num_samples=2, seed=11)
+        sub = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                provider, num_samples=2, seed=11)
+        want = full.build_forest()
+        got = sub.build_forest(daemon_ids=[1, 4])
+        assert len(got) == 2
+        _assert_pairs_equal(got[0], want[1], "daemon 1")
+        _assert_pairs_equal(got[1], want[4], "daemon 4")
+
+    def test_threads_fall_back_to_exact_per_daemon_kernel(self):
+        task_map = TaskMap.block(3, 4)
+        provider = uniform_class_states(task_map.total_tasks, 3, seed=5)
+        scheme = HierarchicalLabelScheme()
+        threaded = STATBenchEmulator(
+            task_map, scheme, BGLStackModel(), provider,
+            num_samples=2, threads_per_process=3, seed=77)
+        per_daemon = STATBenchEmulator(
+            task_map, scheme, BGLStackModel(), provider,
+            num_samples=2, threads_per_process=3, seed=77)
+        got = threaded.build_forest()
+        want = [per_daemon.daemon_trees(d) for d in range(3)]
+        for g, w in zip(got, want):
+            _assert_pairs_equal(g, w, "threads=3 fallback")
+
+    def test_ragged_task_map_falls_back(self):
+        task_map = TaskMap({0: np.array([0, 1, 2]),
+                            1: np.array([3, 4]),
+                            2: np.array([5, 6, 7])})
+        provider = ring_hang_states(8)
+        scheme = DenseLabelScheme(8)
+        forest = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                   provider, num_samples=2, seed=3)
+        per_daemon = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                       provider, num_samples=2, seed=3)
+        got = forest.build_forest()
+        want = [per_daemon.daemon_trees(d) for d in range(3)]
+        for g, w in zip(got, want):
+            _assert_pairs_equal(g, w, "ragged fallback")
+
+    def test_scalar_provider_falls_back_to_daemon_trees(self):
+        task_map = TaskMap.block(3, 4)
+        scheme = HierarchicalLabelScheme()
+
+        def scalar_only(rank):
+            return ring_hang_states(12)(rank)
+
+        forest = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                   scalar_only, num_samples=2, seed=4)
+        per_daemon = STATBenchEmulator(task_map, scheme, BGLStackModel(),
+                                       scalar_only, num_samples=2, seed=4)
+        got = forest.build_forest()
+        want = [per_daemon.daemon_trees(d) for d in range(3)]
+        for g, w in zip(got, want):
+            _assert_pairs_equal(g, w, "scalar provider fallback")
+
+    def test_build_forest_validates_and_handles_empty(self):
+        task_map = TaskMap.block(2, 3)
+        provider = ring_hang_states(6)
+        scheme = HierarchicalLabelScheme()
+        seeds = SeedStream(1)
+        with pytest.raises(ValueError):
+            build_forest(task_map, scheme, BGLStackModel(),
+                         provider.states_array, 0,
+                         lambda d: seeds.rng(f"daemon-{d}"))
+        assert build_forest(task_map, scheme, BGLStackModel(),
+                            provider.states_array, 1,
+                            lambda d: seeds.rng(f"daemon-{d}"),
+                            daemon_ids=[]) == []
+
+    def test_bad_states_array_size_raises(self):
+        task_map = TaskMap.block(2, 3)
+        scheme = HierarchicalLabelScheme()
+        seeds = SeedStream(1)
+        with pytest.raises(ValueError, match="states_array returned"):
+            build_forest(task_map, scheme, BGLStackModel(),
+                         lambda ranks: np.zeros(2, dtype=np.int64), 1,
+                         lambda d: seeds.rng(f"daemon-{d}"))
+
+
+class TestProviderBatchScalarAgreement:
+    """states_array must agree rank-by-rank with the scalar __call__."""
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_batch_matches_scalar(self, trial):
+        total = 13 + 5 * trial
+        for pname, provider in _providers(total, prov_seed=trial):
+            ranks = np.arange(total, dtype=np.int64)
+            sids = provider.states_array(ranks)
+            assert sids.shape == (total,)
+            for rank in ranks.tolist():
+                state = provider(rank)
+                kind, where = STATES.key_of(int(sids[rank]))
+                context = f"provider={pname} rank={rank}"
+                assert state.kind == kind, context
+                assert state.where == where, context

@@ -208,6 +208,33 @@ class TestBenchHarness:
         assert report.ok
         assert "speedup" in report.table()
 
+    def test_bench_build_report(self, tmp_path):
+        report = run_bench(daemons=4, samples=2, repeats=1, million=False,
+                           build=True, progress=lambda *_: None)
+        assert len(report.entries) == 2  # merge entries unchanged
+        assert report.build is not None
+        assert len(report.build.entries) == 2
+        for entry in report.build.entries:
+            assert entry.equal is True
+            assert entry.reference_skipped is False
+            assert entry.vectorized_seconds > 0
+            assert entry.reference_seconds > 0
+            assert entry.build_seconds == entry.vectorized_seconds
+        out = tmp_path / "BENCH_build.json"
+        report.build.write(str(out))
+        data = json.loads(out.read_text())
+        assert data["workload"] == "fig07-ring-hang-bgl-build"
+        assert {e["name"] for e in data["entries"]} == \
+            {"build-original-vn-4", "build-optimized-vn-4"}
+        # the construction report gates through the same baseline checker
+        ok, messages = check_baseline(report.build, str(out))
+        assert ok and messages
+
+    def test_bench_without_build_has_no_build_report(self):
+        report = run_bench(daemons=4, samples=2, repeats=1,
+                           progress=lambda *_: None)
+        assert report.build is None
+
     def test_quick_does_not_override_explicit_values(self):
         report = run_bench(daemons=4, samples=2, repeats=1, quick=True,
                            progress=lambda *_: None)
