@@ -44,6 +44,7 @@ from repro.sim.engine import Engine
 from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
 from repro.statbench.generator import StateProvider
 from repro.tbon.network import DaemonFailure, ReduceResult, TBONetwork
+from repro.tbon.streaming import StreamConfig, StreamingTBON
 from repro.tbon.topology import Topology
 
 __all__ = [
@@ -87,9 +88,16 @@ class SessionContext:
     sampling_config: Optional[SamplingConfig] = None
     mapping: str = "cyclic"
     dead_daemons: Set[int] = field(default_factory=set)
+    #: event-driven merge: daemons emit asynchronously and interior
+    #: nodes fold arrivals incrementally (bit-identical final tree)
+    stream: bool = False
+    stream_config: Optional[StreamConfig] = None
 
     # -- products (one per phase, in order) -------------------------------
     timings: Dict[str, float] = field(default_factory=dict)
+    #: set by the pipeline around each phase so phases can emit
+    #: :meth:`PhaseObserver.on_progress` events mid-run
+    progress_sink: Optional[callable] = None
     launch: Optional[LaunchResult] = None
     task_map: Optional[TaskMap] = None
     map_gather: Optional[ReduceResult] = None
@@ -100,6 +108,8 @@ class SessionContext:
     config: Optional[SamplingConfig] = None
     sampling: Optional[SamplingTimeReport] = None
     emulator: Optional[STATBenchEmulator] = None
+    #: a StreamResult when ``stream`` is on, else a ReduceResult —
+    #: field-compatible where later phases read it
     merge: Optional[ReduceResult] = None
     tree_2d = None
     tree_3d = None
@@ -126,6 +136,16 @@ class PhaseObserver:
     def on_phase_end(self, phase: str, ctx: SessionContext,
                      sim_seconds: float) -> None:
         """Called after ``phase``; ``sim_seconds`` is its simulated cost."""
+
+    def on_progress(self, phase: str, ctx: SessionContext, event: str,
+                    info: Dict[str, float]) -> None:
+        """Called for in-phase progress events.
+
+        The streaming merge emits ``"first_tree"`` when the earliest
+        daemon payload enters the network (a best-effort snapshot is
+        non-empty from then on) and ``"root_fold"`` on every front-end
+        commit (``info`` carries ``covered``/``daemons`` counts).
+        """
 
     def on_session_end(self, ctx: SessionContext) -> None:
         """Called once after the final phase of a full run."""
@@ -161,6 +181,16 @@ class ProgressObserver(PhaseObserver):
                      sim_seconds: float) -> None:
         self._print(f"[{ctx.machine.name}] {phase} done "
                     f"({sim_seconds:.3f} simulated s)")
+
+    def on_progress(self, phase: str, ctx: SessionContext, event: str,
+                    info: Dict[str, float]) -> None:
+        if event == "first_tree":
+            self._print(f"[{ctx.machine.name}] {phase}: first tree at "
+                        f"t={info['sim_time']:.4f}s")
+        elif event == "root_fold":
+            self._print(f"[{ctx.machine.name}] {phase}: "
+                        f"{int(info['covered'])}/{int(info['daemons'])} "
+                        f"daemons merged at t={info['sim_time']:.4f}s")
 
 
 class DaemonKillObserver(PhaseObserver):
@@ -284,14 +314,29 @@ class MergePhase(Phase):
                 raise DaemonFailure(f"daemon {rank} unreachable")
             return forest[rank]
 
-        network = TBONetwork(ctx.topology, ctx.machine)
-        ctx.merge = network.reduce(
-            leaf_payload_fn=leaf_payload,
-            merge_fn=emulator.merge_filter(),
-            payload_nbytes=DaemonTrees.serialized_bytes,
-            payload_nodes=DaemonTrees.node_count,
-            on_daemon_failure="skip" if dead else "raise",
-        )
+        if ctx.stream:
+            # Event-driven variant: asynchronous emissions, incremental
+            # folds, missing-ranklist degradation.  Bit-identical final
+            # tree; StreamResult is field-compatible downstream.
+            network = StreamingTBON(ctx.topology, ctx.machine)
+            ctx.merge = network.reduce(
+                leaf_payload_fn=leaf_payload,
+                merge_fn=emulator.merge_filter(),
+                payload_nbytes=DaemonTrees.serialized_bytes,
+                payload_nodes=DaemonTrees.node_count,
+                on_daemon_failure="skip",
+                config=ctx.stream_config or StreamConfig(seed=ctx.seed),
+                progress_fn=ctx.progress_sink,
+            )
+        else:
+            network = TBONetwork(ctx.topology, ctx.machine)
+            ctx.merge = network.reduce(
+                leaf_payload_fn=leaf_payload,
+                merge_fn=emulator.merge_filter(),
+                payload_nbytes=DaemonTrees.serialized_bytes,
+                payload_nodes=DaemonTrees.node_count,
+                on_daemon_failure="skip" if dead else "raise",
+            )
         ctx.timings["merge"] = ctx.merge.sim_time
 
 
@@ -401,8 +446,17 @@ class SessionPipeline:
         before = dict(self.ctx.timings)
         for obs in self.observers:
             obs.on_phase_start(phase.name, self.ctx)
-        with PERF.timer(pipeline_wall_seconds(phase.name)):
-            phase.run(self.ctx)
+
+        def emit(event: str, info: Dict[str, float]) -> None:
+            for obs in self.observers:
+                obs.on_progress(phase.name, self.ctx, event, info)
+
+        self.ctx.progress_sink = emit
+        try:
+            with PERF.timer(pipeline_wall_seconds(phase.name)):
+                phase.run(self.ctx)
+        finally:
+            self.ctx.progress_sink = None
         PERF.add(pipeline_runs(phase.name))
         sim = sum(v for k, v in self.ctx.timings.items() if k not in before)
         for obs in self.observers:

@@ -132,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--build-baseline", metavar="FILE", default=None,
                        help="checked-in construction report to compare "
                             "against (fails on >2x regression)")
+    bench.add_argument("--stream", action="store_true",
+                       help="also benchmark the streamed TBON reduction "
+                            "(ttft vs ttfinal) and write "
+                            "BENCH_stream.json")
+    bench.add_argument("--stream-out", metavar="FILE",
+                       default="BENCH_stream.json",
+                       help="where to write the streaming report")
+    bench.add_argument("--stream-baseline", metavar="FILE", default=None,
+                       help="checked-in streaming report to compare "
+                            "against (fails on divergence from batch, "
+                            "ttft >= 20%% of ttfinal, simulated-time "
+                            "drift, or >2x wall-ratio regression)")
     bench.add_argument("--seed", type=int, default=208_000)
 
     repro_all = sub.add_parser(
@@ -379,6 +391,34 @@ def _run_bench(args: argparse.Namespace) -> int:
                                           args.build_baseline)
             for message in messages:
                 print(f"build-baseline: {message}")
+            if not ok:
+                status = 1
+    if args.stream:
+        from repro.perf.streambench import check_stream_baseline, \
+            run_stream_bench
+
+        try:
+            stream_report = run_stream_bench(
+                daemons=args.daemons,
+                samples=args.samples,
+                repeats=args.repeats,
+                quick=args.quick,
+                seed=args.seed)
+        except ValueError as err:
+            raise SystemExit(f"bench: {err}")
+        print()
+        print(stream_report.table())
+        stream_report.write(args.stream_out)
+        print(f"stream report written to {args.stream_out}")
+        if not stream_report.ok:
+            status = 1
+            print("FAIL: streamed reduction diverged from the batch "
+                  "merge or missed the time-to-first-tree gate")
+        if args.stream_baseline:
+            ok, messages = check_stream_baseline(stream_report,
+                                                 args.stream_baseline)
+            for message in messages:
+                print(f"stream-baseline: {message}")
             if not ok:
                 status = 1
     return status

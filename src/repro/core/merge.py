@@ -136,6 +136,20 @@ class LabelScheme:
         """The vectorized k-way kernel proper (arrays in, arrays out)."""
         raise NotImplementedError
 
+    def merge_incremental(self, partial: MergeableTree,
+                          arriving: MergeableTree) -> MergeableTree:
+        """Fold one arriving tree into an already-held partial merge.
+
+        The streaming TBO̅N entry point (see
+        :meth:`~repro.core.treearrays.TreeArrays.merge_with`): chaining
+        ``merge_incremental`` over arrivals in canonical child order
+        yields a tree ``arrays_equal`` to the one-shot k-way
+        :meth:`merge` of the same inputs — the structure kernel's
+        first-seen ordering, the contributor-combination label dedup,
+        and the per-row span metadata all compose associatively.
+        """
+        return self.merge([partial, arriving])
+
     def finalize(self, root_tree: MergeableTree,
                  task_map: TaskMap) -> PrefixTree:
         """Front-end post-processing to a rank-ordered, dense-labelled tree."""
@@ -273,10 +287,31 @@ class DenseLabelScheme(LabelScheme):
                     out[grp_b[sel], lo:hi] |= \
                         trees[i].labels[row_b[sel], lo:hi]
 
+        # Output spans are exact per contributing *row* (falling back to
+        # the tree's overall span when it carries no per-row metadata).
+        # Per-row exactness is what keeps incremental pairwise folds
+        # bit-identical to one k-way merge: a partial's row spans feed
+        # the next fold exactly as the original contributors' spans fed
+        # the batch merge.
+        row_counts = np.asarray([t.labels.shape[0] for t in trees],
+                                dtype=np.int64)
+        roff_all = np.concatenate(([0], np.cumsum(row_counts)))[:-1]
+        n_rows = int(row_counts.sum())
+        row_lo = np.empty(n_rows, dtype=np.int64)
+        row_hi = np.empty(n_rows, dtype=np.int64)
+        for i, t in enumerate(trees):  # repro-lint: disable=hot-path-loop (per input tree, k-bounded)
+            sl = slice(int(roff_all[i]), int(roff_all[i] + row_counts[i]))
+            if t.spans is None:
+                row_lo[sl] = lo_t[i]
+                row_hi[sl] = hi_t[i]
+            else:
+                row_lo[sl] = t.spans[:, 0]
+                row_hi[sl] = t.spans[:, 1]
+        contrib = roff_all[tre] + row
         span_lo = np.full(n_groups, nbytes, dtype=np.int64)
         span_hi = np.zeros(n_groups, dtype=np.int64)
-        np.minimum.at(span_lo, grp, lo_t[tre])
-        np.maximum.at(span_hi, grp, hi_t[tre])
+        np.minimum.at(span_lo, grp, row_lo[contrib])
+        np.maximum.at(span_hi, grp, row_hi[contrib])
         spans = np.stack((np.minimum(span_lo, span_hi), span_hi), axis=1)
         return TreeArrays(KIND_DENSE, frame_ids, parents, group_refs,
                           level_offsets, out, spans=spans, width=width)

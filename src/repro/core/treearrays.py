@@ -284,6 +284,22 @@ class TreeArrays:
                 and np.array_equal(self.labels, other.labels)
                 and spans_equal)
 
+    # -- incremental merge -------------------------------------------------
+    def merge_with(self, other: "TreeArrays", scheme) -> "TreeArrays":
+        """Fold one arriving tree into this one — the streaming TBO̅N step.
+
+        ``scheme`` is a :class:`~repro.core.merge.LabelScheme` (duck-typed
+        here to avoid a circular import).  Folding arrivals one at a time
+        through this entry point, in canonical child order, produces a
+        tree ``arrays_equal`` to the one-shot k-way merge of the same
+        inputs: the structure kernel's first-seen ordering, the label
+        dedup's contributor-combination keys, and (dense) the per-row
+        span metadata all compose associatively.
+        ``tests/test_tbon_streaming.py`` pins this property on randomized
+        forests.
+        """
+        return scheme.merge_incremental(self, other)
+
     # -- statistics (array-native: no object tree required) ---------------
     def node_count(self) -> int:
         """Number of non-root nodes."""

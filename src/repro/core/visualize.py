@@ -17,8 +17,9 @@ from repro.core.ranklist import format_edge_label
 
 __all__ = ["to_dot", "to_ascii"]
 
-#: Default label-to-ranks resolver (dense labels).
-_DEFAULT_RESOLVE: Callable[[Any], np.ndarray] = lambda label: label.to_ranks()
+def _default_resolve(label: Any) -> np.ndarray:
+    """Default label-to-ranks resolver (dense labels)."""
+    return label.to_ranks()
 
 
 def _escape(text: str) -> str:
@@ -35,7 +36,7 @@ def to_dot(tree: PrefixTree,
     the compressed rank lists.  The output is valid input for ``dot -Tpng``
     and matches the visual structure of the paper's Figure 1.
     """
-    resolve = rank_resolver or _DEFAULT_RESOLVE
+    resolve = rank_resolver or _default_resolve
     lines: List[str] = [
         f'digraph "{_escape(graph_name)}" {{',
         '  node [shape=box, fontname="Helvetica"];',
@@ -73,7 +74,7 @@ def to_ascii(tree: PrefixTree,
                 ├── do_SendOrStall  1:[1]
                 └── PMPI_Waitall  1:[2]
     """
-    resolve = rank_resolver or _DEFAULT_RESOLVE
+    resolve = rank_resolver or _default_resolve
     lines: List[str] = [tree.root.frame.function]
 
     def rec(node: PrefixTreeNode, prefix: str) -> None:

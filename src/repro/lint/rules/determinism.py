@@ -16,6 +16,10 @@ value.  Three rules:
   :class:`repro.sim.random.SeedStream`.
 * ``wall-clock`` — ``time.time()``; use ``time.perf_counter()`` for
   intervals or the simulation clock for anything that feeds a figure.
+  Inside ``repro.tbon`` the rule is total: *no* ``time.*`` call (and no
+  ``import time``) is permitted, because every duration on the reduction
+  path must come from the engine clock — a wall-clock read there skews
+  simulated results on loaded hosts.
 """
 
 from __future__ import annotations
@@ -160,17 +164,46 @@ class WallClockRule(Rule):
     rule_id = "wall-clock"
     summary = "time.time() read; use perf_counter or the simulated clock"
 
+    #: packages where *any* ``time`` usage is banned: every duration on
+    #: the reduction path must come from the engine's simulated clock.
+    _SIM_ONLY_PREFIX = "repro.tbon"
+
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        sim_only = (ctx.module == self._SIM_ONLY_PREFIX
+                    or ctx.module.startswith(self._SIM_ONLY_PREFIX + "."))
         findings: List[Finding] = []
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call) \
+            if sim_only and isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" or \
+                            alias.name.startswith("time."):
+                        findings.append(ctx.finding(
+                            node.lineno, self.rule_id,
+                            "repro.tbon must not import time: all "
+                            "durations on the reduction path come from "
+                            "the engine clock (engine.now); wall time "
+                            "belongs in perf/"))
+            elif sim_only and isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    findings.append(ctx.finding(
+                        node.lineno, self.rule_id,
+                        "repro.tbon must not import from time: use the "
+                        "engine clock (engine.now) on the simulated "
+                        "path"))
+            elif isinstance(node, ast.Call) \
                     and isinstance(node.func, ast.Attribute) \
-                    and node.func.attr == "time" \
                     and isinstance(node.func.value, ast.Name) \
                     and node.func.value.id == "time":
-                findings.append(ctx.finding(
-                    node.lineno, self.rule_id,
-                    "time.time() is wall-clock and NTP-steppable; use "
-                    "time.perf_counter() for intervals or the "
-                    "simulation clock for figure values"))
+                if node.func.attr == "time":
+                    findings.append(ctx.finding(
+                        node.lineno, self.rule_id,
+                        "time.time() is wall-clock and NTP-steppable; "
+                        "use time.perf_counter() for intervals or the "
+                        "simulation clock for figure values"))
+                elif sim_only:
+                    findings.append(ctx.finding(
+                        node.lineno, self.rule_id,
+                        f"time.{node.func.attr}() on the simulated "
+                        "path; repro.tbon charges costs via the engine "
+                        "clock only"))
         return findings

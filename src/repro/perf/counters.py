@@ -33,6 +33,7 @@ __all__ = [
     "BUILD_STRUCT_MISSES",
     "TBON_REDUCTIONS", "TBON_BYTES", "TBON_MESSAGES",
     "TBON_REDUCE_WALL_SECONDS",
+    "TBON_PARTIAL_MERGES", "TBON_SNAPSHOTS", "TBON_STREAM_WALL_SECONDS",
     "KNOWN_COUNTERS", "pipeline_runs", "pipeline_wall_seconds",
     "is_known_counter",
 ]
@@ -71,6 +72,13 @@ TBON_BYTES = "tbon.bytes"
 TBON_MESSAGES = "tbon.messages"
 #: wall seconds spent simulating reductions (timer)
 TBON_REDUCE_WALL_SECONDS = "tbon.reduce_wall_seconds"
+#: incremental partial-merge folds on the streaming path
+#: (``tbon/streaming.py``)
+TBON_PARTIAL_MERGES = "tbon.partial_merges"
+#: best-effort front-end snapshots taken mid-stream
+TBON_SNAPSHOTS = "tbon.snapshots"
+#: wall seconds spent simulating streaming reductions (timer)
+TBON_STREAM_WALL_SECONDS = "tbon.stream_wall_seconds"
 
 #: every fixed counter name — the lint registry
 KNOWN_COUNTERS = frozenset({
@@ -79,6 +87,7 @@ KNOWN_COUNTERS = frozenset({
     BUILD_DAEMONS, BUILD_TRACES, BUILD_STRUCT_HITS, BUILD_STRUCT_MISSES,
     TBON_REDUCTIONS, TBON_BYTES, TBON_MESSAGES,
     TBON_REDUCE_WALL_SECONDS,
+    TBON_PARTIAL_MERGES, TBON_SNAPSHOTS, TBON_STREAM_WALL_SECONDS,
 })
 
 _PIPELINE_PREFIX = "pipeline."

@@ -17,7 +17,6 @@ from typing import List, Optional
 from repro.core.daemon import STATDaemon
 from repro.core.forest import build_forest as _build_forest_arrays
 from repro.core.merge import LabelScheme
-from repro.core.prefix_tree import PrefixTree
 from repro.core.taskset import TaskMap
 from repro.mpi.runtime import RankState
 from repro.mpi.stacks import StackModel

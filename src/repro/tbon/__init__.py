@@ -18,20 +18,28 @@ This package reimplements the pieces the paper exercises:
   CPs share login nodes.
 """
 
-from repro.tbon.network import DaemonFailure, ReduceResult, TBONetwork, \
-    TBONOverflowError
+from repro.tbon.network import DaemonFailure, ReduceResult, TBONCostBase, \
+    TBONetwork, TBONOverflowError
 from repro.tbon.spec import from_topology_file, parse_shape, \
     to_topology_file
+from repro.tbon.streaming import Snapshot, StreamConfig, StreamResult, \
+    StreamingReduction, StreamingTBON
 from repro.tbon.topology import Topology, TopologyNode, Role
 
 __all__ = [
     "Topology",
     "TopologyNode",
     "Role",
+    "TBONCostBase",
     "TBONetwork",
     "ReduceResult",
     "TBONOverflowError",
     "DaemonFailure",
+    "StreamingTBON",
+    "StreamingReduction",
+    "StreamConfig",
+    "StreamResult",
+    "Snapshot",
     "parse_shape",
     "to_topology_file",
     "from_topology_file",

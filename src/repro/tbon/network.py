@@ -26,7 +26,6 @@ what makes full-scale 1,664-daemon runs feasible in-process.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -44,6 +43,7 @@ __all__ = [
     "FilterCostModel",
     "ReduceResult",
     "BroadcastResult",
+    "TBONCostBase",
     "TBONetwork",
     "TBONOverflowError",
 ]
@@ -129,8 +129,18 @@ class BroadcastResult:
     messages: int = 0
 
 
-class TBONetwork:
-    """A TBO̅N instance bound to a topology and a machine model."""
+class TBONCostBase:
+    """Placement, CPU-dilation, and capacity model shared by TBO̅N modes.
+
+    Both the batch :class:`TBONetwork` and the event-driven
+    :class:`~repro.tbon.streaming.StreamingTBON` bind a topology to a
+    machine the same way: communication processes are packed onto login
+    nodes (dilating their filter CPU), fan-in and ingress buffering are
+    capped per Section V-A, and filter cost follows one
+    :class:`FilterCostModel`.  Keeping this here guarantees the two modes
+    charge identical costs for identical work, so their timings differ
+    only by *scheduling* (lockstep rounds vs. event-driven arrivals).
+    """
 
     def __init__(self, topology: Topology, machine: MachineModel,
                  filter_cost: Optional[FilterCostModel] = None,
@@ -158,6 +168,63 @@ class TBONetwork:
         if node.role is Role.COMM:
             return self._host_slowdown.get(node.host, 1.0)
         return 1.0  # front end runs on a dedicated node
+
+    def _check_fanout(self, node: TopologyNode) -> None:
+        if self.max_children is not None and \
+                len(node.children) > self.max_children:
+            raise TBONOverflowError(
+                f"{node.role.value} node {node.node_id} has "
+                f"{len(node.children)} children; limit is "
+                f"{self.max_children} on {self.machine.name}")
+
+    def _check_ingress(self, node: TopologyNode, ingress_bytes: int) -> None:
+        if self.max_ingress_bytes is not None and \
+                ingress_bytes > self.max_ingress_bytes:
+            raise TBONOverflowError(
+                f"node {node.node_id} buffered {ingress_bytes} bytes; "
+                f"limit is {self.max_ingress_bytes}")
+
+    def filter_seconds(self, node: TopologyNode, n_children: int,
+                       bytes_in: int, merged_nodes: int) -> float:
+        """Host-dilated filter CPU seconds for one merge at ``node``."""
+        return self.filter_cost.cost(
+            n_children, bytes_in, merged_nodes) * self._slowdown(node)
+
+    # -- broadcast ---------------------------------------------------------
+    def broadcast(self, nbytes: int,
+                  start_time: float = 0.0) -> BroadcastResult:
+        """Time a front-end-to-daemons broadcast of an ``nbytes`` message.
+
+        Each node forwards to its children serially on its egress NIC
+        (MRNet unicasts per child); children forward in parallel with each
+        other.  Used for control messages and by SBRS file distribution.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative broadcast size: {nbytes}")
+        result = BroadcastResult(sim_time=start_time)
+
+        def visit(node: TopologyNode, t_have: float) -> None:
+            t_send = t_have
+            for child in node.children:
+                t_send += self.machine.transfer_time(nbytes)
+                result.messages += 1
+                result.bytes_total += nbytes
+                if child.is_leaf:
+                    result.sim_time = max(result.sim_time, t_send)
+                else:
+                    visit(child, t_send)
+
+        visit(self.topology.root, start_time)
+        return result
+
+
+class TBONetwork(TBONCostBase):
+    """A batch-mode TBO̅N instance bound to a topology and a machine.
+
+    Reduces fully-materialized trees in postorder lockstep; see
+    :mod:`repro.tbon.streaming` for the event-driven variant sharing this
+    cost model.
+    """
 
     # -- reduction ---------------------------------------------------------
     def reduce(self,
@@ -223,12 +290,7 @@ class TBONetwork:
                     stats.missing_daemons.append(node.rank)
                     return _DEAD, failure_detect_s
 
-            if self.max_children is not None and \
-                    len(node.children) > self.max_children:
-                raise TBONOverflowError(
-                    f"{node.role.value} node {node.node_id} has "
-                    f"{len(node.children)} children; limit is "
-                    f"{self.max_children} on {self.machine.name}")
+            self._check_fanout(node)
 
             payloads: List[Any] = []
             ends: List[float] = []
@@ -236,8 +298,12 @@ class TBONetwork:
             ingress_bytes = 0
             child_results = [visit(child, level + 1)
                              for child in node.children]
-            # Children ready earliest-first models MRNet's event-driven
-            # receive; ties keep child order for determinism.
+            # Transfers serialize on the NIC earliest-ready-first (MRNet's
+            # event-driven receive; ties keep child order), but payloads
+            # merge in canonical child order so the merged tree never
+            # depends on the timing model — the invariant that lets the
+            # streaming path (any arrival order) reproduce this result
+            # bit for bit.
             order = sorted(range(len(child_results)),
                            key=lambda i: (child_results[i][1], i))
             for i in order:
@@ -256,14 +322,11 @@ class TBONetwork:
                 end = start + self.machine.transfer_time(nbytes)
                 nic_free = end
                 ends.append(end)
-                payloads.append(payload)
+            payloads = [payload for payload, _ in child_results
+                        if payload is not _DEAD]
             del child_results
 
-            if self.max_ingress_bytes is not None and \
-                    ingress_bytes > self.max_ingress_bytes:
-                raise TBONOverflowError(
-                    f"node {node.node_id} buffered {ingress_bytes} bytes; "
-                    f"limit is {self.max_ingress_bytes}")
+            self._check_ingress(node, ingress_bytes)
 
             stats.max_node_ingress_bytes = max(
                 stats.max_node_ingress_bytes, ingress_bytes)
@@ -272,14 +335,13 @@ class TBONetwork:
                 return _DEAD, max(ends)
             merged = merge_fn(payloads) if len(payloads) > 1 else payloads[0]
             del payloads
-            cpu = self.filter_cost.cost(
-                len(node.children), ingress_bytes, nodes_of(merged))
-            cpu *= self._slowdown(node)
+            cpu = self.filter_seconds(
+                node, len(node.children), ingress_bytes, nodes_of(merged))
             stats.filter_seconds += cpu
             return merged, max(ends) + cpu
 
-        wall_start = time.perf_counter()
-        payload, t_done = visit(self.topology.root, 0)
+        with PERF.timer(TBON_REDUCE_WALL_SECONDS):
+            payload, t_done = visit(self.topology.root, 0)
         if payload is _DEAD:
             raise DaemonFailure(
                 f"every daemon failed ({len(stats.missing_daemons)} of "
@@ -290,36 +352,7 @@ class TBONetwork:
         PERF.add(TBON_REDUCTIONS)
         PERF.add(TBON_BYTES, stats.bytes_total)
         PERF.add(TBON_MESSAGES, stats.messages)
-        PERF.add_seconds(TBON_REDUCE_WALL_SECONDS,
-                         time.perf_counter() - wall_start)
         return stats
-
-    # -- broadcast ---------------------------------------------------------
-    def broadcast(self, nbytes: int,
-                  start_time: float = 0.0) -> BroadcastResult:
-        """Time a front-end-to-daemons broadcast of an ``nbytes`` message.
-
-        Each node forwards to its children serially on its egress NIC
-        (MRNet unicasts per child); children forward in parallel with each
-        other.  Used for control messages and by SBRS file distribution.
-        """
-        if nbytes < 0:
-            raise ValueError(f"negative broadcast size: {nbytes}")
-        result = BroadcastResult(sim_time=start_time)
-
-        def visit(node: TopologyNode, t_have: float) -> None:
-            t_send = t_have
-            for child in node.children:
-                t_send += self.machine.transfer_time(nbytes)
-                result.messages += 1
-                result.bytes_total += nbytes
-                if child.is_leaf:
-                    result.sim_time = max(result.sim_time, t_send)
-                else:
-                    visit(child, t_send)
-
-        visit(self.topology.root, start_time)
-        return result
 
     def __repr__(self) -> str:
         return (f"<TBONetwork {self.topology.describe()} "

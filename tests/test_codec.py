@@ -1,12 +1,11 @@
 """Tests for the binary prefix-tree codec."""
 
-import numpy as np
 import pytest
 
 from repro.core.codec import CodecError, pack_tree, unpack_tree, \
     verify_size_model
 from repro.core.frames import StackTrace
-from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.core.merge import HierarchicalLabelScheme
 from repro.core.prefix_tree import PrefixTree
 from repro.core.taskset import DenseBitVector, HierarchicalTaskSet, TaskMap
 

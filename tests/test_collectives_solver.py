@@ -5,7 +5,6 @@ import pytest
 from repro.apps import solver_program
 from repro.apps.bugs import NO_BUG, InconsistentConvergence
 from repro.core.frontend import STATFrontEnd
-from repro.machine.atlas import AtlasMachine
 from repro.mpi.runtime import MPIRuntime, RankState
 from repro.mpi.stacks import BGLStackModel, LinuxStackModel
 from repro.sim.engine import Engine

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.merge import HierarchicalLabelScheme
 from repro.core.taskset import TaskMap
-from repro.mpi.stacks import BGLStackModel
 from repro.statbench import STATBenchEmulator, ring_hang_states
 from repro.statbench.emulator import DaemonTrees
 from repro.tbon.network import DaemonFailure, TBONetwork

@@ -13,7 +13,6 @@ from repro.fs.server import FileServer, LocalDisk
 from repro.machine.atlas import atlas_binary_spec
 from repro.machine.bgl import bgl_binary_spec
 from repro.sim.engine import Engine
-from repro.sim.process import Process
 
 
 class TestFileServer:

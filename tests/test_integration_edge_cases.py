@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.frontend import STATFrontEnd
-from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
+from repro.core.merge import DenseLabelScheme
 from repro.core.queries import TreeQuery
 from repro.machine.atlas import AtlasMachine
 from repro.machine.bgl import BGLMachine

@@ -76,6 +76,47 @@ class TestRuleMessages:
         assert findings == []
 
 
+class TestWallClockSimOnly:
+    """Inside repro.tbon the wall-clock rule bans *any* time usage."""
+
+    def lint_as(self, tmp_path, module_path, source):
+        target = tmp_path / module_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return lint_paths([target], root=tmp_path, select=["wall-clock"])
+
+    def test_import_time_fires_in_tbon(self, tmp_path):
+        findings = self.lint_as(tmp_path, "src/repro/tbon/mod.py",
+                                "import time\n")
+        assert len(findings) == 1
+        assert "engine clock" in findings[0].message
+
+    def test_from_time_import_fires_in_tbon(self, tmp_path):
+        findings = self.lint_as(tmp_path, "src/repro/tbon/mod.py",
+                                "from time import monotonic\n")
+        assert len(findings) == 1
+
+    def test_any_time_call_fires_in_tbon(self, tmp_path):
+        findings = self.lint_as(
+            tmp_path, "src/repro/tbon/streaming2.py",
+            "def f(time):\n    return time.monotonic()\n")
+        assert len(findings) == 1
+        assert "monotonic" in findings[0].message
+
+    def test_perf_counter_allowed_outside_tbon(self, tmp_path):
+        findings = self.lint_as(
+            tmp_path, "src/repro/perf/mod.py",
+            "import time\n\n\ndef f():\n"
+            "    return time.perf_counter()\n")
+        assert findings == []
+
+    def test_time_time_still_fires_everywhere(self, tmp_path):
+        findings = self.lint_as(
+            tmp_path, "src/repro/perf/mod.py",
+            "import time\n\n\ndef f():\n    return time.time()\n")
+        assert len(findings) == 1
+
+
 class TestSpecDrift:
     def run(self, project):
         root = FIXTURES / project

@@ -1,6 +1,5 @@
 """Unit tests for the two label schemes and the STAT merge kernel."""
 
-import numpy as np
 import pytest
 
 from repro.core.frames import StackTrace

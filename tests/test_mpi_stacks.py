@@ -1,10 +1,8 @@
 """Unit tests for the platform stack models (Figure 1 frames)."""
 
 import numpy as np
-import pytest
 
 from repro.mpi.runtime import RankState
-from repro.mpi.stacks import BGLStackModel, LinuxStackModel
 
 
 class TestBGLStackModel:

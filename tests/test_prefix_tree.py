@@ -147,8 +147,10 @@ class TestPrefixTreeQueries:
         assert a.structurally_equal(b)
 
     def test_structural_inequality_on_labels(self):
-        a = PrefixTree(); a.insert(trace("m"), label(0))
-        b = PrefixTree(); b.insert(trace("m"), label(1))
+        a = PrefixTree()
+        a.insert(trace("m"), label(0))
+        b = PrefixTree()
+        b.insert(trace("m"), label(1))
         assert not a.structurally_equal(b)
 
     def test_copy_deep(self):

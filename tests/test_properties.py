@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.core.frames import StackTrace
 from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
-from repro.core.prefix_tree import PrefixTree
 from repro.core.ranklist import format_rank_list, parse_rank_list
 from repro.core.taskset import (
     DaemonLayout,

@@ -18,10 +18,10 @@ def _docstring_code_blocks(doc: str):
             elif line.strip() == "":
                 current.append("")
             else:
-                if any(l.strip() for l in current):
+                if any(ln.strip() for ln in current):
                     blocks.append("\n".join(current))
                 in_block = False
-    if in_block and any(l.strip() for l in current):
+    if in_block and any(ln.strip() for ln in current):
         blocks.append("\n".join(current))
     return blocks
 

@@ -5,7 +5,6 @@ import pytest
 from repro.fs import MountTable, NFSServer, RamDisk, SBRS, stage_binaries
 from repro.fs.server import LocalDisk
 from repro.machine.atlas import atlas_binary_spec
-from repro.sim.engine import Engine
 
 
 @pytest.fixture

@@ -4,8 +4,7 @@ import math
 
 import pytest
 
-from repro.sim.engine import AllOf, AnyOf, Engine, Event, SimulationError, \
-    Timeout
+from repro.sim.engine import Engine, SimulationError, Timeout
 from repro.sim.process import Process, ProcessKilled, spawn
 
 

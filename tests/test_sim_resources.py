@@ -54,7 +54,8 @@ class TestResource:
 
     def test_statistics(self, engine):
         res = Resource(engine, capacity=2)
-        res.acquire(); res.acquire()
+        res.acquire()
+        res.acquire()
         res.release()
         assert res.total_acquisitions == 2
         assert res.peak_in_use == 2

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.merge import HierarchicalLabelScheme
 from repro.core.taskset import TaskMap
-from repro.mpi.runtime import RankState
 from repro.statbench import (
     STATBenchEmulator,
     distinct_leaf_states,

@@ -1,6 +1,5 @@
 """Unit tests for the front-end rank remap step (Section V-B/C)."""
 
-import numpy as np
 import pytest
 
 from repro.core.taskset import (

@@ -11,8 +11,6 @@ from repro.core.queries import TreeQuery
 from repro.core.session import load_session, save_session
 from repro.core.taskset import TaskMap
 from repro.core.timeline import TimelineSampler
-from repro.machine.atlas import AtlasMachine
-from repro.mpi.stacks import LinuxStackModel
 from repro.statbench import ring_hang_states
 
 
