@@ -23,8 +23,11 @@ Commands
 ``lint``
     Run the repo's AST-based invariant checker (:mod:`repro.lint`):
     pickle-safety, determinism, hot-path hygiene, PERF counter and spec
-    discipline.  ``--format json`` for CI, ``--update-baseline`` to
-    grandfather findings.
+    discipline, plus the whole-program passes (call-graph determinism
+    taint, pickle reachability, kernel shape/dtype contracts).
+    ``--format json`` for CI, ``--update-baseline`` to grandfather
+    findings, ``--graph-out`` to export the call graph, ``--why ID``
+    to replay a dataflow finding's propagation chain.
 ``list``
     List available figure/claim ids.
 """

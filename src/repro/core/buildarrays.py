@@ -29,6 +29,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.interning import FRAMES
+from repro.lint.contracts import contract
 
 __all__ = ["TreeStructure", "build_structure", "dedup_segments"]
 
@@ -43,6 +44,8 @@ _DEDUP_MATRIX_LIMIT = 1 << 24
 _DEDUP_SMALL = 128
 
 
+@contract("bounds:(q):int64, columns:[(e):int64] "
+          "-> refs:(s):int64, reps:(d):int64")
 def dedup_segments(bounds: np.ndarray,
                    columns: Tuple[np.ndarray, ...]
                    ) -> Tuple[np.ndarray, np.ndarray]:
@@ -128,6 +131,7 @@ class TreeStructure:
                 f"combos={len(self.combos)}>")
 
 
+@contract("paths:(g,m):int64, depths:(g):int64 -> *")
 def build_structure(paths: np.ndarray,
                     depths: np.ndarray) -> TreeStructure:
     """BFS tree arrays for traces given as padded frame-id rows.

@@ -50,6 +50,7 @@ from repro.core.merge import DenseLabelScheme, LabelScheme
 from repro.core.sampling import BatchWalkSampler
 from repro.core.taskset import DaemonLayout, TaskMap, _pack_indices
 from repro.core.treearrays import KIND_DENSE, KIND_HIER, TreeArrays
+from repro.lint.contracts import contract
 from repro.mpi.stacks import SIG_DEPTH, StackModel
 from repro.perf.counters import (
     BUILD_DAEMONS,
@@ -69,6 +70,7 @@ FOREST_CHUNK = 8192
 _MASK_BLOCK_BOOLS = 1 << 26
 
 
+@contract("ukeys:(m):int64 -> ids:(m):int64")
 def _lut_resolve(model: StackModel, ukeys: np.ndarray) -> np.ndarray:
     """Trace ids for composite ``(state, depth)`` keys via a dense table.
 
@@ -95,6 +97,8 @@ def _lut_resolve(model: StackModel, ukeys: np.ndarray) -> np.ndarray:
     return ids
 
 
+@contract("elems:(r,n):int64 -> seg_ptr:(q):int64, first:(s):int64, "
+          "vals:(s):int64, packed:(s,p):uint8")
 def _segment_rows(elems: np.ndarray, width: int
                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
                              np.ndarray]:
@@ -133,6 +137,8 @@ def _segment_rows(elems: np.ndarray, width: int
     return seg_ptr, first, vals, packed
 
 
+@contract("starts:(s):int64, counts:(s):int64, sorted_slots:(e):int64 "
+          "-> packed:(s,p):uint8")
 def _pack_segments(starts: np.ndarray, counts: np.ndarray,
                    sorted_slots: np.ndarray, width: int) -> np.ndarray:
     """Pack every segment's slots into label-bit rows, blockwise.
@@ -171,6 +177,7 @@ class _ForestScheme:
         self.nbytes = (width + 7) // 8  # daemon-width label row bytes
 
 
+@contract("elems:(r,n):int64, ranks_matrix:(r,w):int64 -> *")
 def _assemble_chunk(chunk: List[int], elems: np.ndarray, width: int,
                     model: StackModel, fscheme: _ForestScheme,
                     ranks_matrix: np.ndarray,
@@ -266,6 +273,8 @@ def _assemble_chunk(chunk: List[int], elems: np.ndarray, width: int,
     return out
 
 
+@contract("daemon_bits:(u,b):uint8, label_refs:(n):int64, "
+          "local_ranks:(w):int64 -> *")
 def _dense_tree(struct: TreeStructure, daemon_bits: np.ndarray,
                 label_refs: np.ndarray, width: int,
                 fscheme: _ForestScheme, local_ranks: np.ndarray,

@@ -40,6 +40,7 @@ from typing import Any, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.lint.contracts import contract
 from repro.core.taskset import (
     DaemonLayout,
     DenseBitVector,
@@ -91,6 +92,7 @@ def tree_layout(tree: MergeableTree) -> DaemonLayout:
     raise ValueError("cannot determine layout of an empty tree")
 
 
+@contract("groups:* -> grp:(p):int64, tre:(p):int64, row:(p):int64")
 def _flat_pairs(groups: Sequence[Tuple[np.ndarray, np.ndarray]]
                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Flatten contributor groups into ``(group, tree, label row)`` arrays.

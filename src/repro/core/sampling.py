@@ -36,6 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.stackwalk import StackWalker, cpu_dilation
+from repro.lint.contracts import contract
 from repro.fs.binary import StagedFile
 from repro.fs.cache import PageCache
 from repro.fs.mtab import MountTable
@@ -75,6 +76,7 @@ class BatchWalkSampler:
         self.rng = rng
         self.threads_per_process = threads_per_process
 
+    @contract("state_ids:(m) -> ids:(e):int64")
     def trace_ids(self, state_ids: np.ndarray) -> np.ndarray:
         """Interned trace ids for one sampling instant.
 

@@ -31,6 +31,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.lint.contracts import contract
+
 __all__ = [
     "DenseBitVector",
     "TaskMap",
@@ -49,6 +51,7 @@ def _packed_nbytes(width: int) -> int:
     return (width + 7) // 8
 
 
+@contract("indices:(k) -> bits:(b):uint8")
 def _pack_indices(indices: np.ndarray, width: int) -> np.ndarray:
     """Pack a sorted array of bit indices into a uint8 bit array."""
     bits = np.zeros(width, dtype=np.uint8)

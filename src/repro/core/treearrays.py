@@ -37,6 +37,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.buildarrays import dedup_segments
+from repro.lint.contracts import contract
 from repro.core.frames import Frame, StackTrace
 from repro.core.interning import FRAMES
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
@@ -94,6 +95,9 @@ class TreeArrays:
 
     # -- constructors ------------------------------------------------------
     @classmethod
+    @contract("frame_ids:(n):int64, parents:(n):int64, "
+              "label_refs:(n):int64, level_offsets:(L):int64, "
+              "labels:(r,b):uint8, spans:(r,2):int64? -> *")
     def _trusted(cls, kind: str,
                  frame_ids: np.ndarray,
                  parents: np.ndarray,
@@ -164,9 +168,9 @@ class TreeArrays:
                 label = node.tasks
                 if first_label is None:
                     first_label = label
-                ref = row_of.get(id(label))
+                ref = row_of.get(id(label))  # repro-lint: disable=determinism-taint (identity-keyed dedup: shared label objects collapse to one row; the ref indices come from traversal order, never from id() values, so output is reproducible)
                 if ref is None:
-                    ref = row_of[id(label)] = len(rows)
+                    ref = row_of[id(label)] = len(rows)  # repro-lint: disable=determinism-taint (same identity-keyed dedup as above)
                     rows.append(label.data)
                 label_refs.append(ref)
                 for child in node.children.values():  # repro-lint: disable=hot-path-loop (boundary conversion, inherently per node)
@@ -309,6 +313,7 @@ class TreeArrays:
         """Longest path length (root excluded)."""
         return int(self.level_offsets.size - 1) if self.frame_ids.size else 0
 
+    @contract(" -> levels:(n):int64")
     def node_levels(self) -> np.ndarray:
         """Level index per node (cached)."""
         levels = self._levels
@@ -318,6 +323,7 @@ class TreeArrays:
                 np.arange(counts.size, dtype=np.int64), counts)
         return levels
 
+    @contract(" -> bundle:(4,n):int64")
     def bundle(self) -> np.ndarray:
         """``(4, n)`` stack of frame ids, parents, label refs, levels.
 
@@ -400,6 +406,8 @@ class TreeArrays:
                 f"labels={self.labels.shape[0]}x{self.labels.shape[1]}B>")
 
 
+@contract("trees:* -> frame_ids:(n):int64, parents:(n):int64, "
+          "level_offsets:(L):int64, group_refs:(n):int64, groups:*")
 def merge_structure(trees: Sequence[TreeArrays]) -> Tuple[
         np.ndarray, np.ndarray, np.ndarray, np.ndarray,
         List[Tuple[np.ndarray, np.ndarray]]]:

@@ -2,18 +2,32 @@
 
 Kept out of :mod:`repro.cli` so the top-level CLI stays a thin
 dispatcher.  Exit codes: 0 = clean (every finding baselined), 1 = new
-findings, 2 = usage error (unknown rule id).
+findings (or the ``--max-seconds`` budget blown), 2 = usage error
+(unknown rule id, unknown ``--why`` id).
+
+Beyond the rule run itself:
+
+* ``--graph`` / ``--graph-out FILE`` — dump the project call graph
+  (JSON) instead of linting; CI uploads it as an artifact;
+* ``--why ID`` — replay the propagation chain behind a dataflow
+  finding (ids appear in ``determinism-taint`` / ``pickle-reachability``
+  messages);
+* ``--stats`` — per-rule wall-clock timing table;
+* ``--max-seconds N`` — fail when the full run exceeds the budget, so
+  the analyzer itself stays fast enough to gate CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import time
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import all_rules, lint_paths
+from repro.lint.engine import (all_rules, iter_python_files,
+                               lint_paths, load_module)
 
 __all__ = ["add_lint_arguments", "run_lint"]
 
@@ -45,6 +59,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="repo root findings are relative to")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--graph", action="store_true",
+                        help="dump the project call graph (JSON) "
+                             "instead of linting")
+    parser.add_argument("--graph-out", metavar="FILE", default=None,
+                        help="write the call graph JSON here "
+                             "(implies --graph)")
+    parser.add_argument("--why", metavar="ID", default=None,
+                        help="replay the propagation chain behind a "
+                             "dataflow finding id")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule timing after the report")
+    parser.add_argument("--max-seconds", metavar="N", type=float,
+                        default=None,
+                        help="fail (exit 1) when the lint run takes "
+                             "longer than N seconds")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -56,12 +85,23 @@ def run_lint(args: argparse.Namespace) -> int:
 
     root = Path(args.root)
     paths = [Path(p) for p in (args.paths or [root / "src"])]
+
+    if args.graph or args.graph_out:
+        return _run_graph(paths, root, args.graph_out)
+
     select = (args.select.split(",") if args.select else None)
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
     try:
-        findings = lint_paths(paths, root=root, select=select)
+        findings = lint_paths(paths, root=root, select=select,
+                              timings=timings)
     except KeyError as err:
         print(f"lint: {err.args[0]}")
         return 2
+    elapsed = time.perf_counter() - started
+
+    if args.why:
+        return _run_why(args.why)
 
     if args.update_baseline:
         baseline = Baseline.from_findings(findings)
@@ -76,13 +116,79 @@ def run_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         report = _json_report(findings, comparison)
+        if args.stats:
+            report["timings_seconds"] = _rounded(timings, elapsed)
         text = json.dumps(report, indent=2)
     else:
         text = _text_report(findings, comparison, args.baseline)
+        if args.stats:
+            text += "\n" + _stats_table(timings, elapsed)
     print(text)
     if args.out:
         Path(args.out).write_text(text + "\n")
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"lint: run took {elapsed:.2f}s, over the "
+              f"--max-seconds {args.max_seconds:g} budget")
+        return 1
     return 0 if comparison.ok else 1
+
+
+def _run_graph(paths: List[Path], root: Path,
+               out: str = None) -> int:
+    from repro.lint.callgraph import build_graph
+
+    modules = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path, root))
+        except SyntaxError:
+            continue  # the lint run proper reports parse errors
+    graph = build_graph(modules)
+    text = json.dumps(graph.to_dict(), indent=2)
+    if out:
+        Path(out).write_text(text + "\n")
+        counts = graph.to_dict()["counts"]
+        print(f"call graph written to {out} "
+              f"({counts['functions']} functions, "
+              f"{counts['edges']} edges)")
+    else:
+        print(text)
+    return 0
+
+
+def _run_why(finding_id: str) -> int:
+    from repro.lint.taint import CHAINS, chain_for
+
+    chain = chain_for(finding_id)
+    if chain is None:
+        hits = [fid for fid in CHAINS if fid.startswith(finding_id)]
+        if len(hits) > 1:
+            print(f"lint: --why {finding_id} is ambiguous: "
+                  f"{sorted(hits)}")
+        else:
+            print(f"lint: no dataflow finding with id {finding_id!r} "
+                  f"in this run (ids appear in determinism-taint / "
+                  f"pickle-reachability messages)")
+        return 2
+    print(chain.render())
+    return 0
+
+
+def _rounded(timings: Dict[str, float], elapsed: float) -> dict:
+    table = {rule: round(seconds, 4)
+             for rule, seconds in sorted(timings.items())}
+    table["total"] = round(elapsed, 4)
+    return table
+
+
+def _stats_table(timings: Dict[str, float], elapsed: float) -> str:
+    rows = sorted(timings.items(), key=lambda kv: -kv[1])
+    lines = ["rule timings:"]
+    for rule, seconds in rows:
+        lines.append(f"  {rule:<24} {seconds * 1000:8.1f} ms")
+    lines.append(f"  {'total':<24} {elapsed * 1000:8.1f} ms")
+    return "\n".join(lines)
 
 
 def _json_report(findings, comparison) -> dict:

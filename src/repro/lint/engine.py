@@ -30,6 +30,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
@@ -227,12 +228,17 @@ def load_module(path: Path, root: Path) -> ModuleContext:
 
 
 def lint_paths(paths: Sequence, root: Optional[Path] = None,
-               select: Optional[Sequence[str]] = None) -> List[Finding]:
+               select: Optional[Sequence[str]] = None,
+               timings: Optional[Dict[str, float]] = None
+               ) -> List[Finding]:
     """Run the (selected) rules over every python file under ``paths``.
 
     Returns findings sorted by ``(file, line, rule_id)`` with suppressed
     findings already removed.  ``root`` anchors the relative paths used
-    in findings and baselines (default: the current directory).
+    in findings and baselines (default: the current directory).  Pass a
+    dict as ``timings`` to collect per-rule wall seconds (the
+    ``--stats`` view; the whole-program passes share one call-graph
+    build, so the first of them absorbs its cost).
     """
     root = Path(root) if root is not None else Path.cwd()
     rules = all_rules()
@@ -242,6 +248,16 @@ def lint_paths(paths: Sequence, root: Optional[Path] = None,
         if unknown:
             raise KeyError(f"unknown rule ids: {sorted(unknown)}")
         rules = [r for r in rules if r.rule_id in wanted]
+
+    def _timed(rule_id: str, thunk):
+        if timings is None:
+            return thunk()
+        start = time.perf_counter()
+        try:
+            return thunk()
+        finally:
+            timings[rule_id] = (timings.get(rule_id, 0.0)
+                                + time.perf_counter() - start)
 
     modules: List[ModuleContext] = []
     findings: List[Finding] = []
@@ -255,7 +271,8 @@ def lint_paths(paths: Sequence, root: Optional[Path] = None,
             continue
         modules.append(ctx)
         for rule in rules:
-            for finding in rule.check_module(ctx):
+            for finding in _timed(rule.rule_id,
+                                  lambda: list(rule.check_module(ctx))):
                 if not ctx.suppressed(finding.rule_id, finding.line):
                     findings.append(finding)
 
@@ -263,7 +280,9 @@ def lint_paths(paths: Sequence, root: Optional[Path] = None,
     for rule in rules:
         if not isinstance(rule, ProjectRule):
             continue
-        for finding in rule.check_project(modules, root):
+        for finding in _timed(
+                rule.rule_id,
+                lambda: list(rule.check_project(modules, root))):
             ctx = by_rel.get(finding.file)
             if ctx is not None and ctx.suppressed(finding.rule_id,
                                                   finding.line):

@@ -15,6 +15,14 @@ per rule family:
   workload ids versus the session-format docs;
 * :mod:`~repro.lint.rules.spec_hygiene` — mutable defaults and
   non-frozen spec/config dataclasses.
+
+The whole-program passes live one level up (they are analysis layers,
+not just rule modules) and register here too:
+
+* :mod:`repro.lint.taint` — ``determinism-taint`` and
+  ``pickle-reachability``, dataflow over the project call graph;
+* :mod:`repro.lint.contracts` — ``kernel-contract``, shape/dtype
+  consistency for ``@contract``-decorated kernels.
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
@@ -25,3 +33,7 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     spec_drift,
     spec_hygiene,
 )
+from repro.lint import taint  # noqa: F401 - imported for registration
+from repro.lint import contracts as _contracts
+
+_contracts.register_rules()

@@ -1,0 +1,711 @@
+"""Flow-sensitive determinism-taint analysis over the call graph.
+
+The per-module rules in :mod:`repro.lint.rules.determinism` catch a
+wall-clock read *written inside* ``repro.tbon``; they cannot catch one
+smuggled in through a helper two modules away.  This pass can.  It
+tracks **sources** of nondeterminism:
+
+* ``time.*`` calls (wall clock, monotonic — any host-time read),
+* the stdlib ``random`` module, NumPy's legacy global RNG, and
+  ``default_rng()`` without a seed,
+* ``os.urandom`` (OS entropy) and ``os.environ`` / ``os.getenv``
+  (host-dependent environment),
+* ``id()`` (CPython address — varies per process),
+* iteration over ``set``/``frozenset`` expressions (hash-randomized),
+
+propagates them through assignments, tuple unpacking, arithmetic,
+f-strings and containers inside each function (*flow-sensitive*: a
+clean reassignment kills the taint), and across function boundaries via
+a return-taint fixpoint over the :mod:`repro.lint.callgraph` graph.
+
+A finding fires when tainted data reaches a **sink** — code whose output
+the repo promises to be bit-reproducible:
+
+* everything under ``repro.sim`` and ``repro.tbon`` (except
+  ``repro.sim.random``, the one module licensed to touch entropy),
+* the merge/build kernel stack (``repro.core.merge`` / ``treearrays`` /
+  ``buildarrays`` / ``forest``),
+* spec canonical hashing (``repro.api.spec``) and session v2 archive
+  writes (``repro.core.session``).
+
+Every finding carries a short stable id; ``stat-repro lint --why <id>``
+replays the full propagation chain with file:line hops.  Messages stay
+line-free so baseline keys survive unrelated edits.
+
+The same machinery powers ``pickle-reachability``: closures (lambdas,
+nested defs, and values returned by closure-returning factories) are the
+sources, and process-pool ``submit``/``map`` calls plus the
+``PrefixTree``/``register_workload`` constructors are the sinks — the
+reachability upgrade of the syntactic ``pickle-safety`` rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, graph_for
+from repro.lint.engine import (Finding, ModuleContext, ProjectRule,
+                               register)
+from repro.lint.rules.determinism import _NP_LEGACY, _is_unordered
+
+__all__ = ["SINK_PREFIXES", "EXEMPT_MODULES", "CHAINS", "chain_for"]
+
+#: module prefixes whose output must be bit-reproducible
+SINK_PREFIXES = (
+    "repro.sim",
+    "repro.tbon",
+    "repro.core.merge",
+    "repro.core.treearrays",
+    "repro.core.buildarrays",
+    "repro.core.forest",
+    "repro.core.session",
+    "repro.api.spec",
+)
+
+#: modules licensed to touch entropy (the seeded-RNG boundary)
+EXEMPT_MODULES = ("repro.sim.random",)
+
+#: consumers that erase set-iteration order again
+_ORDER_ERASERS = {"sorted", "min", "max", "sum", "any", "all", "len",
+                  "set", "frozenset"}
+
+#: iteration-forcing builtins that preserve (unreproducible) set order
+_ORDER_KEEPERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+#: receiver-name fragments marking a process-pool object
+_POOL_HINTS = ("pool", "executor")
+
+#: constructors whose callable arguments cross a pickle boundary
+_PICKLE_CTORS = {"PrefixTree", "register_workload"}
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step of a propagation chain (source-first order)."""
+
+    qname: str
+    rel: str
+    line: int
+    desc: str
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A tainted value: its kind plus the chain that produced it."""
+
+    kind: str
+    hops: Tuple[Hop, ...]
+
+    @property
+    def source(self) -> Hop:
+        return self.hops[0]
+
+    def extended(self, hop: Hop) -> "Taint":
+        return Taint(self.kind, self.hops + (hop,))
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A finding's replayable propagation chain (``--why``)."""
+
+    finding_id: str
+    rule_id: str
+    kind: str
+    sink: str
+    hops: Tuple[Hop, ...]
+
+    def render(self) -> str:
+        lines = [f"[{self.rule_id}] {self.kind} taint reaching "
+                 f"{self.sink}  (id {self.finding_id})"]
+        for i, hop in enumerate(reversed(self.hops)):
+            arrow = "   " if i == 0 else "<- "
+            lines.append(f"  {arrow}{hop.desc}  "
+                         f"[{hop.rel}:{hop.line} in {hop.qname}]")
+        return "\n".join(lines)
+
+
+#: finding id -> chain, repopulated on every lint run (``--why``)
+CHAINS: Dict[str, Chain] = {}
+
+
+def chain_for(prefix: str) -> Optional[Chain]:
+    """Look a chain up by finding-id prefix (None when ambiguous)."""
+    hits = [c for fid, c in CHAINS.items() if fid.startswith(prefix)]
+    return hits[0] if len(hits) == 1 else None
+
+
+def _finding_id(rule_id: str, kind: str, sink: str,
+                hops: Tuple[Hop, ...]) -> str:
+    """Short stable id: hashes qnames and descs, never line numbers."""
+    raw = "::".join([rule_id, kind, sink]
+                    + [f"{h.qname}|{h.desc}" for h in hops])
+    return hashlib.sha1(raw.encode()).hexdigest()[:8]
+
+
+def _is_sink_module(module: str) -> bool:
+    if module in EXEMPT_MODULES:
+        return False
+    return any(module == p or module.startswith(p + ".")
+               for p in SINK_PREFIXES)
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _target_names(node: ast.AST) -> Iterable[str]:
+    """Plain names bound by an assignment target."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _target_names(elt)
+    elif isinstance(node, ast.Starred):
+        yield from _target_names(node.value)
+
+
+class _DetScan:
+    """One flow-sensitive pass over one function."""
+
+    def __init__(self, fn: FunctionInfo, index, graph: CallGraph,
+                 returns: Dict[str, object]) -> None:
+        self.fn = fn
+        self.index = index
+        self.graph = graph
+        self.returns = returns
+        self.tainted: Dict[str, Taint] = {}
+        #: a Taint, or a tuple of Optional[Taint] for element-wise
+        #: tuple returns (``return elapsed, result`` taints only the
+        #: elapsed slot — unpacking callers stay precise)
+        self.return_taint = None
+        #: (line, taint) — taint created inside this function
+        self.created: List[Tuple[int, Taint]] = []
+        #: (line, callee qname, taint) — tainted arg into a sink callee
+        self.sink_args: List[Tuple[int, str, Taint]] = []
+
+    def run(self) -> None:
+        body = getattr(self.fn.node, "body", [])
+        self._block(body)
+
+    # -- statements --------------------------------------------------------
+    def _block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if self._tuple_unpack(stmt):
+                return
+            taint = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self._eval(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                existing = self.tainted.get(stmt.target.id)
+                self._bind(stmt.target, taint or existing, stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if isinstance(stmt.value, ast.Tuple):
+                    elems = tuple(self._eval(e)
+                                  for e in stmt.value.elts)
+                    if any(e is not None for e in elems) \
+                            and self.return_taint is None:
+                        self.return_taint = elems
+                    return
+                taint = self._eval(stmt.value)
+                if taint is not None and self.return_taint is None:
+                    self.return_taint = taint
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self._eval(stmt.iter)
+            if taint is None and _is_unordered(stmt.iter):
+                taint = self._source(stmt.iter.lineno,
+                                     "unordered-iteration",
+                                     "iteration over a set expression")
+            self._bind(stmt.target, taint, stmt)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._eval(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, stmt)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are approximated away
+        elif isinstance(stmt, (ast.Delete, ast.Global, ast.Nonlocal,
+                               ast.Import, ast.ImportFrom, ast.Pass,
+                               ast.Break, ast.Continue)):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child)
+
+    def _bind(self, target: ast.AST, taint: Optional[Taint],
+              stmt: ast.stmt) -> None:
+        for name in _target_names(target):
+            if taint is not None:
+                self.tainted[name] = taint
+            else:
+                self.tainted.pop(name, None)
+
+    def _tuple_unpack(self, stmt: ast.Assign) -> bool:
+        """``a, b = f()`` with an element-wise tuple-returning callee:
+        bind each target from its own slot instead of smearing the
+        whole-call taint across all of them."""
+        if not (isinstance(stmt.value, ast.Call)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], (ast.Tuple, ast.List))):
+            return False
+        target = stmt.targets[0]
+        callee = self.graph.call_resolution.get(id(stmt.value))
+        ret = self.returns.get(callee) if callee is not None else None
+        if not isinstance(ret, tuple) or len(ret) != len(target.elts):
+            return False
+        if self._eval_call(stmt.value, skip_transitive=True) \
+                is not None:
+            return False  # direct/source taint: generic binding applies
+        for elt, elem in zip(target.elts, ret):
+            if elem is None:
+                self._bind(elt, None, stmt)
+                continue
+            hop = Hop(self.fn.qname, self.fn.rel, stmt.value.lineno,
+                      f"call to {callee}() returns a tainted value")
+            taint = elem.extended(hop)
+            self.created.append((stmt.value.lineno, taint))
+            self._bind(elt, taint, stmt)
+        return True
+
+    # -- expressions -------------------------------------------------------
+    def _source(self, line: int, kind: str, desc: str) -> Taint:
+        taint = Taint(kind, (Hop(self.fn.qname, self.fn.rel, line,
+                                 desc),))
+        self.created.append((line, taint))
+        return taint
+
+    def _eval(self, node: Optional[ast.expr]) -> Optional[Taint]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.tainted.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if chain is not None and len(chain) >= 2:
+                head = self.index.module_aliases.get(chain[0], "") \
+                    if self.index else ""
+                if head == "os" and chain[1] == "environ":
+                    return self._source(node.lineno, "environment",
+                                        "os.environ read")
+            return self._eval(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self._eval(node.left) or self._eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            return self._first([self._eval(v) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            return self._first([self._eval(node.left)]
+                               + [self._eval(c)
+                                  for c in node.comparators])
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) or self._eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._first([self._eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(k) for k in node.keys if k is not None]
+            parts += [self._eval(v) for v in node.values]
+            return self._first(parts)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value) or self._eval(node.slice)
+        if isinstance(node, ast.Slice):
+            return self._first([self._eval(node.lower),
+                                self._eval(node.upper),
+                                self._eval(node.step)])
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return self._first([self._eval(v) for v in node.values])
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            parts = []
+            for gen in node.generators:
+                parts.append(self._eval(gen.iter))
+            if isinstance(node, ast.DictComp):
+                parts += [self._eval(node.key), self._eval(node.value)]
+            else:
+                parts.append(self._eval(node.elt))
+            return self._first(parts)
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            inner = self._eval(getattr(node, "value", None))
+            if isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and inner is not None and self.return_taint is None:
+                self.return_taint = inner
+            return inner
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return None
+        return self._first([self._eval(c)
+                            for c in ast.iter_child_nodes(node)
+                            if isinstance(c, ast.expr)])
+
+    @staticmethod
+    def _first(taints: Sequence[Optional[Taint]]) -> Optional[Taint]:
+        for taint in taints:
+            if taint is not None:
+                return taint
+        return None
+
+    def _eval_call(self, call: ast.Call,
+                   skip_transitive: bool = False) -> Optional[Taint]:
+        arg_taints = [self._eval(a) for a in call.args]
+        arg_taints += [self._eval(kw.value) for kw in call.keywords]
+        arg_taint = self._first(arg_taints)
+
+        # Tainted argument crossing into a sink-module callee.
+        callee = self.graph.call_resolution.get(id(call))
+        if callee is not None and arg_taint is not None:
+            callee_info = self.graph.functions.get(callee)
+            if callee_info is not None \
+                    and _is_sink_module(callee_info.module) \
+                    and not _is_sink_module(self.fn.module):
+                self.sink_args.append((call.lineno, callee, arg_taint))
+
+        # Direct sources.
+        source = self._match_source_call(call)
+        if source is not None:
+            return source
+
+        # Transitive: callee's return value is tainted.
+        if not skip_transitive and callee is not None \
+                and callee in self.returns:
+            ret = self.returns[callee]
+            if isinstance(ret, tuple):
+                ret = next(t for t in ret if t is not None)
+            hop = Hop(self.fn.qname, self.fn.rel, call.lineno,
+                      f"call to {callee}() returns a tainted value")
+            taint = ret.extended(hop)
+            self.created.append((call.lineno, taint))
+            return taint
+
+        # Conservative pass-through: a call fed tainted data yields
+        # tainted data — except the order-erasing consumers, which
+        # launder *set-iteration* taint specifically.
+        fname = (call.func.id if isinstance(call.func, ast.Name)
+                 else call.func.attr
+                 if isinstance(call.func, ast.Attribute) else "")
+        if arg_taint is not None:
+            if arg_taint.kind == "unordered-iteration" \
+                    and fname in _ORDER_ERASERS:
+                return None
+            return arg_taint
+        # Receiver taint: ``tainted.method(...)``.
+        if isinstance(call.func, ast.Attribute):
+            recv = self._eval(call.func.value)
+            if recv is not None:
+                return recv
+        # Forcing iteration order out of a set expression.
+        if fname in _ORDER_KEEPERS and call.args \
+                and _is_unordered(call.args[0]):
+            return self._source(call.lineno, "unordered-iteration",
+                                f"{fname}() over a set expression")
+        return None
+
+    def _match_source_call(self, call: ast.Call) -> Optional[Taint]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "id":
+                return self._source(call.lineno, "object-identity",
+                                    "id() — per-process address")
+            target = self.index.imported_names.get(name, "") \
+                if self.index else ""
+            if target.startswith("time."):
+                return self._source(call.lineno, "wall-clock",
+                                    f"{target}() host-time read")
+            if target == "os.urandom":
+                return self._source(call.lineno, "os-entropy",
+                                    "os.urandom() OS entropy")
+            if target == "os.getenv":
+                return self._source(call.lineno, "environment",
+                                    "os.getenv() read")
+            if target.startswith("random."):
+                return self._source(call.lineno, "unseeded-random",
+                                    f"stdlib {target}()")
+            if name == "default_rng" and _unseeded(call):
+                return self._source(call.lineno, "unseeded-random",
+                                    "default_rng() without a seed")
+            return None
+        chain = _attr_chain(func)
+        if chain is None or self.index is None:
+            return None
+        head = self.index.module_aliases.get(chain[0], "")
+        if head == "time" and len(chain) == 2:
+            return self._source(call.lineno, "wall-clock",
+                                f"time.{chain[1]}() host-time read")
+        if head == "os" and len(chain) == 2:
+            if chain[1] == "urandom":
+                return self._source(call.lineno, "os-entropy",
+                                    "os.urandom() OS entropy")
+            if chain[1] == "getenv":
+                return self._source(call.lineno, "environment",
+                                    "os.getenv() read")
+        if head == "os" and len(chain) == 3 and chain[1] == "environ":
+            return self._source(call.lineno, "environment",
+                                "os.environ read")
+        if head == "random" and len(chain) == 2:
+            return self._source(call.lineno, "unseeded-random",
+                                f"stdlib random.{chain[1]}()")
+        if head in ("numpy",) or chain[0] in ("np", "numpy"):
+            if len(chain) == 3 and chain[1] == "random" \
+                    and chain[2] in _NP_LEGACY:
+                return self._source(
+                    call.lineno, "unseeded-random",
+                    f"np.random.{chain[2]}() global RNG")
+        if chain[-1] == "default_rng" and _unseeded(call):
+            return self._source(call.lineno, "unseeded-random",
+                                "default_rng() without a seed")
+        return None
+
+
+def _unseeded(call: ast.Call) -> bool:
+    if not call.args and not call.keywords:
+        return True
+    return (len(call.args) == 1 and not call.keywords
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None)
+
+
+def _scan_all(graph: CallGraph, functions: Sequence[FunctionInfo]
+              ) -> List[_DetScan]:
+    """Return-taint fixpoint; the returned scans are at the fixpoint."""
+    returns: Dict[str, object] = {}
+    scans: List[_DetScan] = []
+    for _ in range(10):
+        scans = []
+        changed = False
+        for fn in functions:
+            index = graph.module_index(fn.module)
+            scan = _DetScan(fn, index, graph, returns)
+            scan.run()
+            scans.append(scan)
+            if scan.return_taint is not None \
+                    and fn.qname not in returns:
+                returns[fn.qname] = scan.return_taint
+                changed = True
+        if not changed:
+            break
+    return scans
+
+
+def _short(qname: str) -> str:
+    return ".".join(qname.split(".")[-2:])
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    rule_id = "determinism-taint"
+    summary = ("nondeterministic value (clock/RNG/env/id/set order) "
+               "reaches a reproducibility sink")
+
+    def check_project(self, modules: Sequence[ModuleContext],
+                      root: Path) -> Iterable[Finding]:
+        graph = graph_for(modules)
+        functions = [
+            f for f in graph.functions.values()
+            if f.module not in EXEMPT_MODULES]
+        scans = _scan_all(graph, functions)
+
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        for scan in scans:
+            fn = scan.fn
+            if _is_sink_module(fn.module):
+                for line, taint in scan.created:
+                    findings.extend(self._emit(
+                        seen, fn.rel, line, taint, fn.qname,
+                        f"inside sink function {_short(fn.qname)}"))
+            for line, callee, taint in scan.sink_args:
+                findings.extend(self._emit(
+                    seen, fn.rel, line, taint, callee,
+                    f"passed into sink {_short(callee)}() "
+                    f"from {_short(fn.qname)}"))
+        return findings
+
+    def _emit(self, seen: Set[str], rel: str, line: int, taint: Taint,
+              sink: str, where: str) -> Iterable[Finding]:
+        fid = _finding_id(self.rule_id, taint.kind, sink, taint.hops)
+        if fid in seen:
+            return
+        seen.add(fid)
+        CHAINS[fid] = Chain(fid, self.rule_id, taint.kind, sink,
+                            taint.hops)
+        via = " <- ".join(_short(h.qname) for h in reversed(taint.hops))
+        yield Finding(
+            rel, line, self.rule_id,
+            f"{taint.kind} taint {where}: {taint.source.desc}; "
+            f"chain {via} (stat-repro lint --why {fid})")
+
+
+class _ClosureScan:
+    """Closure-flow pass: which locals hold unpicklable callables."""
+
+    def __init__(self, fn: FunctionInfo, graph: CallGraph,
+                 returns_closure: Set[str]) -> None:
+        self.fn = fn
+        self.graph = graph
+        self.returns_closure = returns_closure
+        self.local_defs: Set[str] = set()
+        self.closure_vars: Dict[str, Hop] = {}
+        self.returns_one = False
+        #: (line, sink desc, origin hop, direct call) sink hits
+        self.hits: List[Tuple[int, str, Hop, bool]] = []
+        body = getattr(fn.node, "body", [])
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.local_defs.add(stmt.name)
+
+    def run(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                origin = self._closure_origin(node.value)
+                for target in node.targets:
+                    for name in _target_names(target):
+                        if origin is not None:
+                            self.closure_vars[name] = origin
+                        else:
+                            self.closure_vars.pop(name, None)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if self._closure_origin(node.value) is not None \
+                        or self._is_closure_ref(node.value):
+                    self.returns_one = True
+            elif isinstance(node, ast.Call):
+                self._check_sink(node)
+
+    def _closure_origin(self, node: ast.expr) -> Optional[Hop]:
+        if isinstance(node, ast.Lambda):
+            return Hop(self.fn.qname, self.fn.rel, node.lineno,
+                       "lambda defined here")
+        if isinstance(node, ast.Name) and node.id in self.local_defs:
+            return Hop(self.fn.qname, self.fn.rel, node.lineno,
+                       f"nested def {node.id!r}")
+        if isinstance(node, ast.Call):
+            callee = self.graph.call_resolution.get(id(node))
+            if callee is not None and callee in self.returns_closure:
+                return Hop(self.fn.qname, self.fn.rel, node.lineno,
+                           f"{callee}() returns a closure")
+        return None
+
+    def _is_closure_ref(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in \
+            self.closure_vars
+
+    def _check_sink(self, call: ast.Call) -> None:
+        sink = self._sink_desc(call)
+        if sink is None:
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Lambda):
+                continue  # pickle-safety flags direct lambdas already
+            if isinstance(arg, ast.Name):
+                if arg.id in self.local_defs:
+                    continue  # ditto: direct nested-def argument
+                origin = self.closure_vars.get(arg.id)
+                if origin is not None:
+                    self.hits.append((call.lineno, sink, origin, False))
+            elif isinstance(arg, ast.Call):
+                origin = self._closure_origin(arg)
+                if origin is not None:
+                    self.hits.append((call.lineno, sink, origin, True))
+
+    def _sink_desc(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _PICKLE_CTORS:
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("submit", "map") \
+                and isinstance(func.value, ast.Name):
+            recv = func.value.id.lower()
+            if any(h in recv for h in _POOL_HINTS):
+                return f"{func.value.id}.{func.attr}(...)"
+        return None
+
+
+@register
+class PickleReachabilityRule(ProjectRule):
+    rule_id = "pickle-reachability"
+    summary = ("closure flows (possibly via helpers) into a "
+               "process-pool or registry pickle boundary")
+
+    def check_project(self, modules: Sequence[ModuleContext],
+                      root: Path) -> Iterable[Finding]:
+        graph = graph_for(modules)
+        functions = list(graph.functions.values())
+
+        returns_closure: Set[str] = set()
+        for _ in range(10):
+            changed = False
+            for fn in functions:
+                scan = _ClosureScan(fn, graph, returns_closure)
+                scan.run()
+                if scan.returns_one \
+                        and fn.qname not in returns_closure:
+                    returns_closure.add(fn.qname)
+                    changed = True
+            if not changed:
+                break
+
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        for fn in functions:
+            scan = _ClosureScan(fn, graph, returns_closure)
+            scan.run()
+            for line, sink, origin, direct in scan.hits:
+                hops = (origin,
+                        Hop(fn.qname, fn.rel, line,
+                            f"reaches {sink}"))
+                fid = _finding_id(self.rule_id, "closure", sink, hops)
+                if fid in seen:
+                    continue
+                seen.add(fid)
+                CHAINS[fid] = Chain(fid, self.rule_id, "closure", sink,
+                                    hops)
+                findings.append(Finding(
+                    fn.rel, line, self.rule_id,
+                    f"closure ({origin.desc}) flows into {sink} in "
+                    f"{_short(fn.qname)}; only module-level callables "
+                    f"pickle (stat-repro lint --why {fid})"))
+        return findings

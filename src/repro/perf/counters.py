@@ -80,15 +80,23 @@ TBON_SNAPSHOTS = "tbon.snapshots"
 #: wall seconds spent simulating streaming reductions (timer)
 TBON_STREAM_WALL_SECONDS = "tbon.stream_wall_seconds"
 
-#: every fixed counter name — the lint registry
-KNOWN_COUNTERS = frozenset({
-    MERGE_CALLS, MERGE_TREES_IN, MERGE_KERNEL_SECONDS, MERGE_NODES_OUT,
-    MERGE_LABEL_GROUPS, MERGE_LABEL_BYTES_OUT,
-    BUILD_DAEMONS, BUILD_TRACES, BUILD_STRUCT_HITS, BUILD_STRUCT_MISSES,
-    TBON_REDUCTIONS, TBON_BYTES, TBON_MESSAGES,
-    TBON_REDUCE_WALL_SECONDS,
-    TBON_PARTIAL_MERGES, TBON_SNAPSHOTS, TBON_STREAM_WALL_SECONDS,
-})
+def _collect_counter_constants() -> frozenset:
+    """Every fixed counter name, derived from this module's constants.
+
+    Any public ``UPPER_CASE`` string constant containing a ``.`` is a
+    counter name — so adding a counter is exactly one edit (the
+    constant), and the registry, the ``perf-counter-name`` lint rule,
+    and :func:`is_known_counter` all pick it up automatically.
+    """
+    return frozenset(
+        value for name, value in globals().items()
+        if name.isupper() and not name.startswith("_")
+        and isinstance(value, str) and "." in value)
+
+
+#: every fixed counter name — the lint registry (derived, not spelled
+#: out a second time)
+KNOWN_COUNTERS = _collect_counter_constants()
 
 _PIPELINE_PREFIX = "pipeline."
 

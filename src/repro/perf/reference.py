@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.frames import Frame
+from repro.lint.contracts import exempt
 from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
 from repro.core.taskset import DaemonLayout, HierarchicalTaskSet
 
@@ -44,6 +45,7 @@ def _ordered_frame_union(nodes: Sequence[PrefixTreeNode]) -> List[Frame]:
     return list(seen)
 
 
+@exempt
 def reference_dense_merge(trees: Sequence[PrefixTree]) -> PrefixTree:
     """Recursive structure merge; label merge is pairwise bitwise OR."""
     out = PrefixTree()
@@ -71,6 +73,7 @@ def _tree_layout(tree: PrefixTree) -> DaemonLayout:
     raise ValueError("cannot determine layout of an empty tree")
 
 
+@exempt
 def reference_hierarchical_merge(trees: Sequence[PrefixTree]) -> PrefixTree:
     """Recursive concatenation merge: per-node zero-fill plus pastes."""
     if not trees:
@@ -100,6 +103,7 @@ def reference_hierarchical_merge(trees: Sequence[PrefixTree]) -> PrefixTree:
     return out
 
 
+@exempt
 def reference_merge(scheme_name: str,
                     trees: Sequence[PrefixTree]) -> PrefixTree:
     """Dispatch by scheme name ("original" / "optimized")."""
@@ -110,6 +114,7 @@ def reference_merge(scheme_name: str,
     raise ValueError(f"unknown scheme name {scheme_name!r}")
 
 
+@exempt
 def reference_daemon_trees(daemon_id: int, task_map, scheme, stack_model,
                            state_of: Callable, num_samples: int = 10,
                            threads_per_process: int = 1,

@@ -2,15 +2,30 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
+import os
 
-from repro.core.merge import DenseLabelScheme, HierarchicalLabelScheme
-from repro.core.taskset import TaskMap
-from repro.machine.atlas import AtlasMachine
-from repro.machine.bgl import BGLMachine
-from repro.mpi.stacks import BGLStackModel, LinuxStackModel
-from repro.sim.engine import Engine
+# The whole tier-1 suite runs with runtime kernel contracts asserting
+# on real arrays (sanitizer mode).  Set the env var BEFORE any repro
+# import so process-pool children inherit it, then force-enable for
+# this process regardless of prior environment.
+os.environ["REPRO_CONTRACTS"] = "1"
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro.lint import contracts as _contracts  # noqa: E402
+
+_contracts.enable()
+
+from repro.core.merge import (  # noqa: E402
+    DenseLabelScheme,
+    HierarchicalLabelScheme,
+)
+from repro.core.taskset import TaskMap  # noqa: E402
+from repro.machine.atlas import AtlasMachine  # noqa: E402
+from repro.machine.bgl import BGLMachine  # noqa: E402
+from repro.mpi.stacks import BGLStackModel, LinuxStackModel  # noqa: E402
+from repro.sim.engine import Engine  # noqa: E402
 
 
 @pytest.fixture

@@ -1,0 +1,44 @@
+"""Call-graph fixture: aliases, classes, and typed receivers."""
+
+import repro.beta as b
+from repro.beta import helper as imported_helper
+from repro.registry import Ring
+
+
+class Worker:
+    def __init__(self):
+        self.n = 0
+
+    def step(self):
+        self.tick()
+        return b.run()
+
+    def tick(self):
+        self.n += 1
+
+
+def use_worker():
+    w = Worker()
+    w.step()
+    return w
+
+
+def annotated(w: Worker):
+    w.tick()
+
+
+def call_imported():
+    return imported_helper()
+
+
+def call_class_method():
+    return Ring.spin()
+
+
+def unique():
+    thing = get_thing()
+    thing.whirl()
+
+
+def get_thing():
+    return Ring()

@@ -1,0 +1,9 @@
+"""Call-graph fixture: plain module-level calls."""
+
+
+def run():
+    return helper()
+
+
+def helper():
+    return 1

@@ -1,0 +1,29 @@
+"""Call-graph fixture: workload-registry indirection."""
+
+_WORKLOADS = {}
+
+
+def register_workload(name, factory):
+    _WORKLOADS[name] = factory
+
+
+def resolve_workload(name):
+    return _WORKLOADS[name]()
+
+
+def _ring_factory():
+    return Ring()
+
+
+class Ring:
+    def __init__(self):
+        self.state = 0
+
+    def spin(self):
+        return self.state
+
+    def whirl(self):
+        return -self.state
+
+
+register_workload("ring", _ring_factory)

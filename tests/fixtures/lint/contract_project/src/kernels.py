@@ -1,0 +1,67 @@
+"""Kernel-contract fixture: dim-symbol and dtype drift across calls.
+
+Parsed by the ``kernel-contract`` rule, never imported — the invalid
+decorators below would raise at import time.
+"""
+
+from repro.lint.contracts import contract
+
+
+@contract("bounds:(q):int64 -> refs:(s):int64, reps:(d):int64")
+def dedup(bounds):
+    return bounds, bounds
+
+
+@contract("a:(n):int64, b:(n):int64 -> out:(n):int64")
+def combine(a, b):
+    return a
+
+
+@contract("x:(n):int32 -> y:(n):int32")
+def narrow(x):
+    return x
+
+
+@contract("v:(3):int64 -> w:(3):int64")
+def pinned(v):
+    return v
+
+
+@contract("m:(r,c):int64 -> t:(c,r):int64")
+def flip(m):
+    return m
+
+
+@contract("z:(m):int64 -> zz:(m):int64")
+def bad_names(missing_param):
+    return missing_param
+
+
+@contract("q:((bad -> r:(n):int64")
+def bad_dsl(q):
+    return q
+
+
+def mismatch(bounds):
+    refs, reps = dedup(bounds)
+    return combine(refs, reps)  # (s) and (d) cannot both bind n
+
+
+def drift(bounds):
+    refs, reps = dedup(bounds)
+    return narrow(refs)  # int64 refs into the int32 parameter x
+
+
+def wrong_rank(bounds):
+    refs, reps = dedup(bounds)
+    return flip(refs)  # rank-1 value into the rank-2 parameter m
+
+
+def clean(bounds):
+    refs, reps = dedup(bounds)
+    return combine(refs, refs)
+
+
+def unprovable(bounds):
+    refs, reps = dedup(bounds)
+    return pinned(refs)  # (s) vs pinned 3: not statically decidable

@@ -1,0 +1,10 @@
+"""Taint fixture: a tainted argument crossing into a sink callee."""
+
+import time
+
+from repro.tbon.collect import absorb
+
+
+def push():
+    t = time.time()
+    return absorb(t)

@@ -1,0 +1,11 @@
+"""Taint fixture: a wall-clock source two calls away from any sink."""
+
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def relay():
+    return read_clock()

@@ -1,0 +1,21 @@
+"""Pickle-reachability fixture: closures reaching a pool boundary."""
+
+
+def make_handler():
+    def handler(item):
+        return item + 1
+    return handler
+
+
+def submit_var(pool):
+    fn = lambda item: item
+    pool.submit(fn)
+
+
+def submit_factory(pool):
+    pool.submit(make_handler())
+
+
+def submit_direct_lambda(pool):
+    # direct lambda arguments are the old pickle-safety rule's job
+    pool.submit(lambda item: item)

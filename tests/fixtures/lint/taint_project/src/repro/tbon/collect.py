@@ -1,0 +1,12 @@
+"""Taint fixture: a sink module ingesting transitively tainted data."""
+
+from repro.helpers.clockwork import relay
+
+
+def ingest():
+    stamp = relay()
+    return stamp
+
+
+def absorb(value):
+    return value

@@ -1,0 +1,13 @@
+"""Taint fixture: a direct source inside a sink, one suppressed."""
+
+import time
+
+
+def stamp_now():
+    now = time.time()
+    return now
+
+
+def stamped_ok():
+    now = time.time()  # repro-lint: disable=determinism-taint
+    return now

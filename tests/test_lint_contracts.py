@@ -1,0 +1,190 @@
+"""Kernel contracts: DSL parsing, the runtime sanitizer, and the
+static ``kernel-contract`` cross-call-site rule."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.contracts import (ContractError, ContractSyntaxError,
+                                  contract, disable, enable, enabled,
+                                  exempt, parse_contract)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class TestParse:
+    def test_roundtrip(self):
+        spec = parse_contract(
+            "labels:(n,w):int32 -> spans:(n,2):int64")
+        assert spec.params[0].name == "labels"
+        assert spec.params[0].spec.dims == ("n", "w")
+        assert spec.params[0].spec.dtype == "int32"
+        assert spec.results[0].name == "spans"
+        assert spec.results[0].spec.dims == ("n", 2)
+
+    def test_optional_and_any(self):
+        spec = parse_contract("spans:(r,2):int64? -> *")
+        assert spec.params[0].spec.optional
+        assert spec.results[0].spec.any
+
+    def test_sequence_of_arrays(self):
+        spec = parse_contract("columns:[(e):int64] -> *")
+        assert spec.params[0].each
+        assert spec.params[0].spec.dims == ("e",)
+
+    def test_dtype_only_and_dims_only_forms(self):
+        spec = parse_contract("a:int64, b:(n) -> *")
+        assert spec.params[0].spec.dims is None
+        assert spec.params[0].spec.dtype == "int64"
+        assert spec.params[1].spec.dims == ("n",)
+        assert spec.params[1].spec.dtype is None
+
+    @pytest.mark.parametrize("text", [
+        "a:(n):int64",                       # no arrow
+        "a:(n) -> b:(n) -> c:(n)",           # two arrows
+        "a:(n), a:(m) -> *",                 # duplicate names
+        "a:(n+1):int64 -> *",                # bad dim token
+        "a:((bad -> *",                      # unbalanced spec
+    ])
+    def test_syntax_errors(self, text):
+        with pytest.raises(ContractSyntaxError):
+            parse_contract(text)
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(ContractSyntaxError):
+            @contract("nope:(n):int64 -> *")
+            def f(x):
+                return x
+
+
+@contract("x:(n):int64 -> y:(n):int64")
+def _echo(x):
+    return x
+
+
+@contract("a:(n):int64, b:(n):int64 -> *")
+def _paired(a, b):
+    return None
+
+
+@contract("v:(3):int64 -> *")
+def _pinned(v):
+    return None
+
+
+@contract("x:(n):int64? -> *")
+def _nullable(x=None):
+    return None
+
+
+@contract("x:(n):int64 -> p:(n):int64, q:(n):int64")
+def _splits(x):
+    return x, x
+
+
+@exempt
+def _reference_path():
+    return _echo(np.zeros(2, dtype=np.int32))
+
+
+class TestRuntime:
+    def test_conftest_enabled_the_sanitizer(self):
+        assert enabled()
+
+    def test_passing_call(self):
+        out = _echo(np.arange(4, dtype=np.int64))
+        assert out.size == 4
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ContractError, match="dtype mismatch"):
+            _echo(np.arange(4, dtype=np.int32))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ContractError, match="rank mismatch"):
+            _echo(np.zeros((2, 2), dtype=np.int64))
+
+    def test_dim_symbol_consistency_within_one_call(self):
+        with pytest.raises(ContractError, match="dim symbol 'n'"):
+            _paired(np.zeros(3, dtype=np.int64),
+                    np.zeros(4, dtype=np.int64))
+
+    def test_pinned_dimension(self):
+        with pytest.raises(ContractError, match="pins 3"):
+            _pinned(np.zeros(4, dtype=np.int64))
+
+    def test_optional_allows_none(self):
+        assert _nullable(None) is None
+        with pytest.raises(ContractError, match="is None"):
+            _echo(None)
+
+    def test_result_tuple_arity(self):
+        assert len(_splits(np.zeros(2, dtype=np.int64))) == 2
+
+    def test_exempt_suspends_checking(self):
+        assert _reference_path() is not None
+        assert _reference_path.__contract_exempt__ is True
+
+    def test_disable_turns_checks_off(self):
+        disable()
+        try:
+            assert _echo(np.arange(2, dtype=np.int32)) is not None
+        finally:
+            enable()
+        assert enabled()
+
+    def test_real_kernels_are_decorated(self):
+        from repro.core.buildarrays import dedup_segments
+        from repro.perf.reference import reference_merge
+        assert dedup_segments.__contract_text__.startswith("bounds")
+        assert reference_merge.__contract_exempt__ is True
+
+
+class TestStaticRule:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        root = FIXTURES / "contract_project"
+        return lint_paths([root], root=root,
+                          select=["kernel-contract"])
+
+    def test_exactly_the_seeded_defects(self, findings):
+        assert len(findings) == 5, [f.render() for f in findings]
+
+    def test_dim_symbol_mismatch_across_arguments(self, findings):
+        hit = next(f for f in findings
+                   if "dim symbol mismatch" in f.message)
+        assert "kernels.combine" in hit.message
+        assert "'d'" in hit.message and "'s'" in hit.message
+
+    def test_dtype_drift_across_call_sites(self, findings):
+        hit = next(f for f in findings if "dtype drift" in f.message)
+        assert "'refs' is int64" in hit.message
+        assert "kernels.narrow" in hit.message
+
+    def test_rank_mismatch_across_call_sites(self, findings):
+        hit = next(f for f in findings
+                   if "rank mismatch" in f.message)
+        assert "kernels.flip" in hit.message
+
+    def test_invalid_dsl_reported(self, findings):
+        assert any("invalid contract on kernels.bad_dsl" in f.message
+                   for f in findings)
+
+    def test_unknown_parameter_names_reported(self, findings):
+        assert any("names parameters ['z']" in f.message
+                   for f in findings)
+
+    def test_clean_and_unprovable_sites_stay_silent(self, findings):
+        lines = (FIXTURES / "contract_project/src/kernels.py"
+                 ).read_text().splitlines()
+        for marker in ("combine(refs, refs)", "pinned(refs)"):
+            line_no = next(i + 1 for i, line in enumerate(lines)
+                           if marker in line)
+            assert all(f.line != line_no for f in findings)
+
+    def test_repo_kernels_are_contract_consistent(self):
+        findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT,
+                              select=["kernel-contract"])
+        assert findings == [], [f.render() for f in findings]

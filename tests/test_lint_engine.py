@@ -65,7 +65,8 @@ class TestDriver:
         assert {"pickle-safety", "unordered-iteration", "unseeded-random",
                 "wall-clock", "hot-path-loop", "hot-path-recursion",
                 "perf-counter-name", "spec-drift", "mutable-default",
-                "spec-not-frozen"} <= ids
+                "spec-not-frozen", "determinism-taint",
+                "pickle-reachability", "kernel-contract"} <= ids
 
 
 class TestBaseline:
@@ -156,6 +157,37 @@ class TestCli:
         assert report["counts"]["new"] == 1
         assert report["findings"][0]["rule"] == "wall-clock"
         assert report["findings"][0]["file"] == "seeded.py"
+
+    def test_stats_appends_timing_table(self, capsys):
+        rc = self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                       "--no-baseline", "--root", str(FIXTURES),
+                       "--stats")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rule timings:" in out and "total" in out
+
+    def test_stats_json_carries_timings(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                       "--no-baseline", "--root", str(FIXTURES),
+                       "--format", "json", "--stats",
+                       "--out", str(report_path))
+        assert rc == 0
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert "total" in report["timings_seconds"]
+
+    def test_max_seconds_budget_blown_fails(self, capsys):
+        rc = self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                       "--no-baseline", "--root", str(FIXTURES),
+                       "--max-seconds", "0")
+        assert rc == 1
+        assert "--max-seconds" in capsys.readouterr().out
+
+    def test_max_seconds_generous_budget_passes(self):
+        assert self.lint(str(FIXTURES / "wall_clock_clean.py"),
+                         "--no-baseline", "--root", str(FIXTURES),
+                         "--max-seconds", "600") == 0
 
     def test_list_rules(self, capsys):
         assert self.lint("--list-rules") == 0

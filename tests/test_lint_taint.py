@@ -1,0 +1,115 @@
+"""Dataflow rules: determinism taint, pickle reachability, ``--why``,
+and the gate that keeps the real tree taint-clean."""
+
+import re
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths
+from repro.lint.taint import CHAINS, chain_for
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+TAINT_ROOT = FIXTURES / "taint_project"
+
+
+def taint_findings(*select):
+    return lint_paths([TAINT_ROOT], root=TAINT_ROOT,
+                      select=list(select) or ["determinism-taint"])
+
+
+def finding_id(finding):
+    match = re.search(r"--why ([0-9a-f]{8})", finding.message)
+    assert match, finding.message
+    return match.group(1)
+
+
+class TestDeterminismTaint:
+    def test_two_hop_transitive_leak_into_tbon_sink(self):
+        hits = [f for f in taint_findings()
+                if f.file == "src/repro/tbon/collect.py"]
+        assert len(hits) == 1
+        message = hits[0].message
+        assert "wall-clock taint inside sink function collect.ingest" \
+            in message
+        assert "time.time() host-time read" in message
+        # the full propagation chain, sink-first
+        assert ("chain collect.ingest <- clockwork.relay "
+                "<- clockwork.read_clock") in message
+
+    def test_direct_source_in_sink(self):
+        hits = [f for f in taint_findings()
+                if f.file == "src/repro/tbon/direct.py"]
+        assert len(hits) == 1
+        assert "direct.stamp_now" in hits[0].message
+
+    def test_inline_suppression_silences_the_finding(self):
+        assert not any("stamped_ok" in f.message
+                       for f in taint_findings())
+
+    def test_tainted_argument_into_sink_callee(self):
+        hits = [f for f in taint_findings()
+                if f.file == "src/repro/driver.py"]
+        assert len(hits) == 1
+        assert ("passed into sink collect.absorb() from driver.push"
+                in hits[0].message)
+
+    def test_chain_replay_has_file_line_hops(self):
+        findings = taint_findings()
+        transitive = next(f for f in findings
+                          if f.file == "src/repro/tbon/collect.py")
+        chain = chain_for(finding_id(transitive))
+        assert chain is not None
+        assert len(chain.hops) == 3
+        text = chain.render()
+        assert "src/repro/helpers/clockwork.py:7" in text
+        assert "in repro.helpers.clockwork.read_clock" in text
+        assert text.count("<- ") == 2
+
+    def test_chain_for_rejects_ambiguous_prefixes(self):
+        taint_findings()
+        assert len(CHAINS) > 1
+        assert chain_for("") is None
+
+    def test_why_cli_replays_the_chain(self, capsys):
+        findings = taint_findings()
+        fid = finding_id(findings[0])
+        rc = main(["lint", str(TAINT_ROOT), "--root", str(TAINT_ROOT),
+                   "--select", "determinism-taint", "--no-baseline",
+                   "--why", fid])
+        assert rc == 0
+        assert "[determinism-taint]" in capsys.readouterr().out
+
+    def test_why_cli_unknown_id_is_usage_error(self, capsys):
+        rc = main(["lint", str(TAINT_ROOT), "--root", str(TAINT_ROOT),
+                   "--select", "determinism-taint", "--no-baseline",
+                   "--why", "ffffffff"])
+        assert rc == 2
+        assert "no dataflow finding" in capsys.readouterr().out
+
+
+class TestPickleReachability:
+    def test_closure_variable_reaching_submit(self):
+        findings = taint_findings("pickle-reachability")
+        jobs = [f for f in findings if f.file == "src/repro/jobs.py"]
+        assert len(jobs) == 2
+        messages = " | ".join(f.message for f in jobs)
+        assert "lambda defined here" in messages
+        assert "returns a closure" in messages
+
+    def test_direct_lambda_argument_left_to_pickle_safety(self):
+        findings = taint_findings("pickle-reachability")
+        direct_line = next(
+            i + 1 for i, line in enumerate(
+                (TAINT_ROOT / "src/repro/jobs.py").read_text()
+                .splitlines())
+            if "submit(lambda" in line)
+        assert all(f.line != direct_line for f in findings)
+
+
+class TestRepoIsTaintClean:
+    def test_src_has_no_dataflow_findings(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src"], root=REPO_ROOT,
+            select=["determinism-taint", "pickle-reachability"])
+        assert findings == [], [f.render() for f in findings]
