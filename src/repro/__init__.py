@@ -50,6 +50,7 @@ from repro.core.taskset import (
     TaskMap,
 )
 from repro.core.treearrays import TreeArrays
+from repro.faults import DegradationReport, FaultPlan, RetryPolicy
 from repro.perf import PERF
 
 __version__ = "1.0.0"
@@ -75,5 +76,8 @@ __all__ = [
     "EquivalenceClass",
     "equivalence_classes",
     "TreeArrays",
+    "FaultPlan",
+    "RetryPolicy",
+    "DegradationReport",
     "PERF",
 ]

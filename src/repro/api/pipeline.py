@@ -25,6 +25,8 @@ from repro.core.merge import LabelScheme
 from repro.core.sampling import SamplingConfig, SamplingTimeReport, \
     time_sampling_phase
 from repro.core.taskset import TaskMap
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import DegradationReport, FaultPlan
 from repro.fs.binary import StagedFile, stage_binaries
 from repro.fs.lustre import LustreServer
 from repro.fs.mtab import MountTable
@@ -92,6 +94,9 @@ class SessionContext:
     #: nodes fold arrivals incrementally (bit-identical final tree)
     stream: bool = False
     stream_config: Optional[StreamConfig] = None
+    #: declarative seeded fault campaign; ``None`` / empty plan is a
+    #: guaranteed no-op (bit-identical results)
+    fault_plan: Optional[FaultPlan] = None
 
     # -- products (one per phase, in order) -------------------------------
     timings: Dict[str, float] = field(default_factory=dict)
@@ -111,6 +116,8 @@ class SessionContext:
     #: a StreamResult when ``stream`` is on, else a ReduceResult —
     #: field-compatible where later phases read it
     merge: Optional[ReduceResult] = None
+    #: the bound injector when a non-empty fault plan ran the merge
+    fault_injector: Optional[FaultInjector] = None
     tree_2d = None
     tree_3d = None
     classes: Optional[List[EquivalenceClass]] = None
@@ -198,6 +205,14 @@ class DaemonKillObserver(PhaseObserver):
 
     Models daemons dying mid-session — after launch succeeded but before
     the merge needs their subtrees (``before="merge"``, the default).
+
+    .. deprecated::
+        This is now a thin shim over :class:`repro.faults.plan.FaultPlan`
+        — it extends the context's plan with crash-at-t=0 entries, which
+        the merge phase resolves to the same dead set and detection
+        charge as before.  Prefer declaring crashes on
+        ``SessionSpec.faults`` directly: plans are serializable,
+        sweepable, and replayable; this observer is not.
     """
 
     def __init__(self, daemon_ids: Sequence[int],
@@ -207,7 +222,8 @@ class DaemonKillObserver(PhaseObserver):
 
     def on_phase_start(self, phase: str, ctx: SessionContext) -> None:
         if phase == self.before:
-            ctx.dead_daemons |= self.daemon_ids
+            base = ctx.fault_plan or FaultPlan(seed=ctx.seed)
+            ctx.fault_plan = base.with_crashes(sorted(self.daemon_ids))
 
 
 class Phase:
@@ -300,7 +316,15 @@ class MergePhase(Phase):
             num_samples=ctx.config.num_samples,
             threads_per_process=ctx.config.threads_per_process,
             seed=ctx.seed)
-        dead = ctx.dead_daemons
+        injector = None
+        if ctx.fault_plan is not None and not ctx.fault_plan.empty:
+            injector = ctx.fault_plan.bind(len(ctx.task_map))
+            ctx.fault_injector = injector
+        dead = set(ctx.dead_daemons)
+        if injector is not None:
+            # Crashes at t<=0 are gone before the merge starts: exclude
+            # them from the forest build like spec-level dead_daemons.
+            dead |= injector.dead_at_start()
         emulator = ctx.emulator
 
         # Build the whole forest up front through the vectorized forest
@@ -327,15 +351,18 @@ class MergePhase(Phase):
                 on_daemon_failure="skip",
                 config=ctx.stream_config or StreamConfig(seed=ctx.seed),
                 progress_fn=ctx.progress_sink,
+                faults=injector,
             )
         else:
             network = TBONetwork(ctx.topology, ctx.machine)
+            skip = bool(dead) or injector is not None
             ctx.merge = network.reduce(
                 leaf_payload_fn=leaf_payload,
                 merge_fn=emulator.merge_filter(),
                 payload_nbytes=DaemonTrees.serialized_bytes,
                 payload_nodes=DaemonTrees.node_count,
-                on_daemon_failure="skip" if dead else "raise",
+                on_daemon_failure="skip" if skip else "raise",
+                faults=injector,
             )
         ctx.timings["merge"] = ctx.merge.sim_time
 
@@ -362,6 +389,9 @@ class FinalizePhase(Phase):
             merge=ctx.merge,
             relocation=ctx.relocation,
             timings=ctx.timings,
+            degradation=DegradationReport.from_merge(
+                ctx.merge, daemons=len(ctx.task_map),
+                injector=ctx.fault_injector),
         )
 
 
@@ -412,6 +442,7 @@ class SessionPipeline:
             sampling_config=spec.sampling,
             mapping=spec.mapping,
             dead_daemons=set(spec.dead_daemons),
+            fault_plan=spec.faults,
         )
         return cls(ctx, observers=observers)
 

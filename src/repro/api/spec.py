@@ -29,6 +29,7 @@ from repro.core.merge import (
     LabelScheme,
 )
 from repro.core.sampling import SamplingConfig
+from repro.faults.plan import FaultPlan, FaultPlanError
 from repro.launch.base import Launcher
 from repro.launch.ciod import BglSystemLauncher
 from repro.launch.launchmon import LaunchMonLauncher
@@ -108,6 +109,12 @@ class SessionSpec:
         :class:`~repro.core.frontend.STATResult`.
     name:
         Display label in suite tables (defaults to a derived id).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` — a declarative,
+        seeded fault-injection campaign (crashes, stalls, link
+        drop/corruption, stragglers, pool-worker kills) replayed
+        bit-identically from its own seed.  ``None`` (and the empty
+        plan) leaves every result bit-identical to a fault-free run.
     """
 
     machine: str
@@ -127,6 +134,7 @@ class SessionSpec:
     workload: str = "ring_hang"
     stop_after: Optional[str] = None
     name: Optional[str] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.machine not in _MACHINES:
@@ -162,6 +170,10 @@ class SessionSpec:
                 not isinstance(self.sampling, SamplingConfig):
             raise SpecValidationError(
                 "sampling must be a SamplingConfig or None")
+        if self.faults is not None and \
+                not isinstance(self.faults, FaultPlan):
+            raise SpecValidationError(
+                "faults must be a FaultPlan or None")
 
     # -- identity ----------------------------------------------------------
     @property
@@ -187,6 +199,8 @@ class SessionSpec:
                 value = list(value)
             elif f.name == "machine_options" and value is not None:
                 value = dict(value)
+            elif f.name == "faults" and value is not None:
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -219,6 +233,12 @@ class SessionSpec:
             data["sampling"] = SamplingConfig(**sampling)
         if data.get("dead_daemons") is not None:
             data["dead_daemons"] = tuple(data["dead_daemons"])
+        if data.get("faults") is not None:
+            try:
+                data["faults"] = FaultPlan.from_dict(data["faults"])
+            except FaultPlanError as err:
+                raise SpecValidationError(
+                    f"invalid faults plan: {err}") from err
         try:
             return cls(**data)
         except TypeError as err:

@@ -28,10 +28,18 @@ from repro.api.spec import SessionSpec
 from repro.core.frontend import STATResult
 from repro.launch.base import LaunchResult
 
-__all__ = ["ScenarioOutcome", "SuiteReport", "ScenarioSuite", "execute_spec"]
+__all__ = ["ScenarioOutcome", "SuiteReport", "ScenarioSuite", "execute_spec",
+           "MAX_SPEC_RETRIES", "RETRY_BACKOFF_S"]
 
 #: Column order for timing keys in the comparison table.
 _TIMING_ORDER = ("launch", "map_gather", "sbrs", "sample", "merge", "remap")
+
+#: Bounded per-spec retry budget after a worker death (the chunk pass
+#: counts as attempt 0, so a spec gets 1 + MAX_SPEC_RETRIES executions).
+MAX_SPEC_RETRIES = 2
+
+#: Base wall-clock backoff between per-spec retries (doubles per retry).
+RETRY_BACKOFF_S = 0.05
 
 
 @dataclass
@@ -54,6 +62,9 @@ class ScenarioOutcome:
     traceback: Optional[str] = None
     #: real seconds this scenario took to simulate
     wall_seconds: float = 0.0
+    #: pool executions this outcome took (1 = first-try success; >1 means
+    #: the bounded retry budget absorbed worker deaths)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -151,14 +162,31 @@ def execute_spec(spec: SessionSpec) -> ScenarioOutcome:
     return outcome
 
 
-def _execute_spec_dict(spec_dict: Dict) -> ScenarioOutcome:
+def _maybe_kill_worker(spec: SessionSpec, attempt: int) -> None:
+    """Honor the spec's ``worker_kill`` fault plan entries (pool only).
+
+    Hard-kills this worker process (``os._exit``) while ``attempt`` is
+    still within the plan's kill budget — modeling a scenario whose
+    worker dies mid-execution.  The suite's bounded per-spec retry
+    budget is what absorbs these.  Inline execution never calls this, so
+    a kill plan can never take down the parent process.
+    """
+    if spec.faults is not None and \
+            attempt < spec.faults.worker_kill_attempts:
+        os._exit(173)
+
+
+def _execute_spec_dict(spec_dict: Dict, attempt: int = 0) -> ScenarioOutcome:
     """Pool-worker entry point: specs travel as plain dicts."""
-    return execute_spec(SessionSpec.from_dict(spec_dict))
+    spec = SessionSpec.from_dict(spec_dict)
+    _maybe_kill_worker(spec, attempt)
+    return execute_spec(spec)
 
 
-def _execute_spec_dicts(spec_dicts: List[Dict]) -> List[ScenarioOutcome]:
+def _execute_spec_dicts(spec_dicts: List[Dict],
+                        attempt: int = 0) -> List[ScenarioOutcome]:
     """Chunked pool-worker entry point: one IPC round-trip per chunk."""
-    return [_execute_spec_dict(d) for d in spec_dicts]
+    return [_execute_spec_dict(d, attempt) for d in spec_dicts]
 
 
 class ScenarioSuite:
@@ -271,17 +299,44 @@ class ScenarioSuite:
     def _retry_specs(self, specs: List[SessionSpec],
                      workers: int) -> List[ScenarioOutcome]:
         """Per-future retry of one failed chunk (per-spec isolation)."""
-        outcomes: List[ScenarioOutcome] = []
-        for spec in specs:
+        return [self._retry_spec(spec, workers) for spec in specs]
+
+    def _retry_spec(self, spec: SessionSpec,
+                    workers: int) -> ScenarioOutcome:
+        """Bounded per-spec retries with exponential backoff.
+
+        The failed chunk pass counts as attempt 0; up to
+        :data:`MAX_SPEC_RETRIES` further pool executions follow, each
+        after a doubling wall-clock backoff (a worker that died from a
+        transient host condition gets time to clear).  A spec whose
+        worker dies on every attempt becomes an error outcome carrying
+        the last failure's traceback — the suite never retries
+        unboundedly and never runs a worker-killing spec inline.
+        """
+        last_err: Optional[BaseException] = None
+        last_tb: Optional[str] = None
+        for attempt in range(1, MAX_SPEC_RETRIES + 1):
             try:
                 pool = self._get_pool(workers)
-                outcomes.append(
-                    pool.submit(_execute_spec_dict, spec.to_dict()).result())
+                outcome = pool.submit(
+                    _execute_spec_dict, spec.to_dict(), attempt).result()
+                outcome.attempts = attempt + 1
+                return outcome
             except (OSError, PermissionError):
+                # No subprocess support: degrade to inline (worker-kill
+                # plans are a no-op inline by design).
                 self.close()
-                outcomes.append(execute_spec(spec))
-            except Exception as err:  # worker died again: this spec's fault
+                outcome = execute_spec(spec)
+                outcome.attempts = attempt + 1
+                return outcome
+            except Exception as err:  # noqa: BLE001 - worker died again
                 self.close()
-                outcomes.append(ScenarioOutcome(
-                    spec=spec, error=f"{type(err).__name__}: {err}"))
-        return outcomes
+                last_err = err
+                last_tb = traceback.format_exc()
+                if attempt < MAX_SPEC_RETRIES:
+                    time.sleep(RETRY_BACKOFF_S * 2 ** (attempt - 1))
+        return ScenarioOutcome(
+            spec=spec,
+            error=f"{type(last_err).__name__}: {last_err}",
+            traceback=last_tb,
+            attempts=MAX_SPEC_RETRIES + 1)

@@ -20,6 +20,11 @@ Commands
     fig07 full scale; writes ``BENCH_merge.json``.  ``--scale million``
     adds the 1,048,576-task hierarchical sweep point; ``--baseline``
     fails on >2x regression versus a checked-in report.
+``chaos``
+    Sweep hundreds of randomized seeded :class:`~repro.faults.plan
+    .FaultPlan`s across topology x scheme x batch/stream reductions
+    (:mod:`repro.faults.chaos`); fails on any hang, undeclared
+    exception, nondeterministic replay, or empty-plan drift.
 ``lint``
     Run the repo's AST-based invariant checker (:mod:`repro.lint`):
     pickle-safety, determinism, hot-path hygiene, PERF counter and spec
@@ -147,7 +152,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "against (fails on divergence from batch, "
                             "ttft >= 20%% of ttfinal, simulated-time "
                             "drift, or >2x wall-ratio regression)")
+    bench.add_argument("--chaos", action="store_true",
+                       help="also run a quick chaos sweep (randomized "
+                            "seeded fault plans) and write its report")
+    bench.add_argument("--chaos-plans", type=int, default=50,
+                       help="plans for the bench-attached chaos sweep")
+    bench.add_argument("--chaos-out", metavar="FILE",
+                       default="BENCH_chaos.json",
+                       help="where to write the chaos report")
     bench.add_argument("--seed", type=int, default=208_000)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep randomized seeded fault plans across topology x "
+             "scheme x batch/stream reductions and assert the "
+             "robustness invariants")
+    chaos.add_argument("--plans", type=int, default=200,
+                       help="randomized fault plans to run (each twice, "
+                            "for the determinism check)")
+    chaos.add_argument("--daemons", type=int, default=8,
+                       help="daemons per reduction")
+    chaos.add_argument("--samples", type=int, default=2,
+                       help="samples per STATBench forest")
+    chaos.add_argument("--quick", action="store_true",
+                       help="50-plan smoke sweep")
+    chaos.add_argument("--max-seconds", type=float, default=None,
+                       help="wall budget; exceeding it fails the sweep "
+                            "(the never-hangs backstop)")
+    chaos.add_argument("--out", metavar="FILE", default=None,
+                       help="write the chaos report JSON here")
+    chaos.add_argument("--seed", type=int, default=208_000)
 
     repro_all = sub.add_parser(
         "reproduce-all",
@@ -424,7 +458,36 @@ def _run_bench(args: argparse.Namespace) -> int:
                 print(f"stream-baseline: {message}")
             if not ok:
                 status = 1
+    if args.chaos:
+        from repro.faults.chaos import run_chaos
+
+        print()
+        chaos_report = run_chaos(plans=args.chaos_plans, seed=args.seed,
+                                 progress=print)
+        print(chaos_report.table())
+        chaos_report.write(args.chaos_out)
+        print(f"chaos report written to {args.chaos_out}")
+        if not chaos_report.ok:
+            status = 1
+            print("FAIL: chaos sweep violated a robustness invariant")
     return status
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    plans = 50 if args.quick else args.plans
+    try:
+        report = run_chaos(plans=plans, daemons=args.daemons,
+                           samples=args.samples, seed=args.seed,
+                           max_seconds=args.max_seconds, progress=print)
+    except ValueError as err:
+        raise SystemExit(f"chaos: {err}")
+    print(report.table())
+    if args.out:
+        report.write(args.out)
+        print(f"chaos report written to {args.out}")
+    return 0 if report.ok else 1
 
 
 def _run_figure(args: argparse.Namespace) -> int:
@@ -463,6 +526,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_figure(args)
         if args.command == "bench":
             return _run_bench(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
         if args.command == "reproduce-all":
             return _run_reproduce_all(args)
         if args.command == "inspect":

@@ -68,6 +68,9 @@ class STATResult:
     relocation: Optional[RelocationReport] = None
     #: simulated seconds per phase
     timings: Dict[str, float] = field(default_factory=dict)
+    #: structured robustness account (coverage, retries, faults
+    #: absorbed) — see :class:`repro.faults.plan.DegradationReport`
+    degradation: Optional["DegradationReport"] = None  # noqa: F821
 
     @property
     def total_seconds(self) -> float:

@@ -20,7 +20,10 @@ Format history:
   :class:`~repro.api.spec.SessionSpec` under ``"spec"`` (when the session
   was run from one), making an archive fully re-runnable:
   ``SessionSpec.from_dict(archive.meta["spec"]).run()``.  ``load_session``
-  still reads v1 directories.
+  still reads v1 directories.  v2 archives additionally carry the
+  session's :class:`~repro.faults.plan.DegradationReport` under
+  ``"degradation"`` (absent in older saves) so coverage and
+  fault-survival accounting survive with the trees.
 """
 
 from __future__ import annotations
@@ -83,6 +86,20 @@ class SessionArchive:
             return None
         return SessionSpec.from_dict(data)
 
+    @property
+    def degradation(self):
+        """The saved :class:`~repro.faults.plan.DegradationReport`.
+
+        ``None`` for v1 archives and v2 saves from builds that predate
+        degradation accounting.
+        """
+        from repro.faults.plan import DegradationReport
+
+        data = self.meta.get("degradation")
+        if data is None:
+            return None
+        return DegradationReport.from_dict(data)
+
     def __repr__(self) -> str:
         return (f"<SessionArchive machine={self.meta.get('machine')!r} "
                 f"classes={len(self.classes)}>")
@@ -118,6 +135,8 @@ def save_session(result: STATResult, directory: Union[str, Path],
         ],
         "missing_daemons": list(result.merge.missing_daemons),
         "spec": None if spec is None else spec.to_dict(),
+        "degradation": (None if result.degradation is None
+                        else result.degradation.to_dict()),
     }
     (directory / "session.json").write_text(json.dumps(meta, indent=2))
     return directory

@@ -11,10 +11,15 @@ read.  This project-level rule cross-checks three sources statically:
 * the workload ids registered by ``register_workload(...)`` calls in
   ``src/repro/api/workloads.py`` versus the list between the
   ``<!-- workload-ids:begin/end -->`` markers;
-* ``SessionSpec``'s default workload id versus the registry.
+* ``SessionSpec``'s default workload id versus the registry;
+* the fault kinds declared in ``src/repro/faults/plan.py`` (every
+  dataclass ``kind = "..."`` class attribute) versus the fault-kinds
+  table between the ``<!-- fault-kinds:begin/end -->`` markers in
+  ``docs/fault-tolerance.md``.
 
-The rule runs only when the linted file set contains the spec module,
-so linting a single unrelated file stays quiet.
+The rule runs only when the linted file set contains the spec module
+(fault-kinds: the faults module), so linting a single unrelated file
+stays quiet.
 """
 
 from __future__ import annotations
@@ -33,7 +38,9 @@ from repro.lint.engine import (
 
 _SPEC_MODULE = "repro.api.spec"
 _WORKLOADS_MODULE = "repro.api.workloads"
+_FAULTS_MODULE = "repro.faults.plan"
 _DOCS_REL = "docs/architecture.md"
+_FAULTS_DOCS_REL = "docs/fault-tolerance.md"
 
 _BACKTICK_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)")
 
@@ -94,6 +101,31 @@ def _registered_workloads(ctx: ModuleContext) -> Dict[str, int]:
     return registered
 
 
+def _fault_kinds(ctx: ModuleContext) -> Dict[str, int]:
+    """Fault ``kind`` string -> line, from every class body.
+
+    Matches both ``kind = "..."`` (plain assign) and
+    ``kind: ClassVar[str] = "..."`` (annotated assign) forms.
+    """
+    kinds: Dict[str, int] = {}
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target.id, stmt.value
+            if target == "kind" and isinstance(value, ast.Constant) \
+                    and isinstance(value.value, str):
+                kinds[value.value] = stmt.lineno
+    return kinds
+
+
 @register
 class SpecDriftRule(ProjectRule):
     rule_id = "spec-drift"
@@ -102,25 +134,66 @@ class SpecDriftRule(ProjectRule):
 
     def check_project(self, modules: Sequence[ModuleContext],
                       root: Path) -> Iterable[Finding]:
+        findings: List[Finding] = []
         spec_ctx = next((m for m in modules if m.module == _SPEC_MODULE),
                         None)
-        if spec_ctx is None:
-            return []
-        findings: List[Finding] = []
-        docs_path = root / _DOCS_REL
-        if not docs_path.exists():
-            return [Finding(spec_ctx.rel, 1, self.rule_id,
-                            f"session-format docs not found at "
-                            f"{_DOCS_REL}")]
-        doc_lines = docs_path.read_text().splitlines()
-
-        self._check_fields(spec_ctx, doc_lines, findings)
-        workloads_ctx = next(
-            (m for m in modules if m.module == _WORKLOADS_MODULE), None)
-        if workloads_ctx is not None:
-            self._check_workloads(spec_ctx, workloads_ctx, doc_lines,
-                                  findings)
+        if spec_ctx is not None:
+            docs_path = root / _DOCS_REL
+            if not docs_path.exists():
+                findings.append(Finding(
+                    spec_ctx.rel, 1, self.rule_id,
+                    f"session-format docs not found at {_DOCS_REL}"))
+            else:
+                doc_lines = docs_path.read_text().splitlines()
+                self._check_fields(spec_ctx, doc_lines, findings)
+                workloads_ctx = next(
+                    (m for m in modules
+                     if m.module == _WORKLOADS_MODULE), None)
+                if workloads_ctx is not None:
+                    self._check_workloads(spec_ctx, workloads_ctx,
+                                          doc_lines, findings)
+        faults_ctx = next(
+            (m for m in modules if m.module == _FAULTS_MODULE), None)
+        if faults_ctx is not None:
+            self._check_fault_kinds(faults_ctx, root, findings)
         return findings
+
+    def _check_fault_kinds(self, faults_ctx: ModuleContext, root: Path,
+                           findings: List[Finding]) -> None:
+        kinds = _fault_kinds(faults_ctx)
+        docs_path = root / _FAULTS_DOCS_REL
+        if not docs_path.exists():
+            findings.append(Finding(
+                faults_ctx.rel, 1, self.rule_id,
+                f"fault-tolerance docs not found at {_FAULTS_DOCS_REL}"))
+            return
+        doc_lines = docs_path.read_text().splitlines()
+        marker_line, block = _marked_block(doc_lines, "fault-kinds")
+        if marker_line is None:
+            findings.append(Finding(
+                _FAULTS_DOCS_REL, 1, self.rule_id,
+                "missing '<!-- fault-kinds:begin/end -->' markers "
+                "around the fault-kinds table"))
+            return
+        documented: Dict[str, int] = {}
+        for offset, line in enumerate(block, 1):
+            if not line.lstrip().startswith("|"):
+                continue
+            m = _BACKTICK_RE.search(line)
+            if m:
+                documented.setdefault(m.group(1), marker_line + offset)
+        for name, line in sorted(kinds.items()):
+            if name not in documented:
+                findings.append(Finding(
+                    faults_ctx.rel, line, self.rule_id,
+                    f"fault kind {name!r} is not documented in "
+                    f"{_FAULTS_DOCS_REL}"))
+        for name, line in sorted(documented.items()):
+            if name not in kinds:
+                findings.append(Finding(
+                    _FAULTS_DOCS_REL, line, self.rule_id,
+                    f"docs list fault kind {name!r} that "
+                    f"repro.faults.plan does not define"))
 
     def _check_fields(self, spec_ctx: ModuleContext,
                       doc_lines: Sequence[str],

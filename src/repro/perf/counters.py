@@ -34,6 +34,7 @@ __all__ = [
     "TBON_REDUCTIONS", "TBON_BYTES", "TBON_MESSAGES",
     "TBON_REDUCE_WALL_SECONDS",
     "TBON_PARTIAL_MERGES", "TBON_SNAPSHOTS", "TBON_STREAM_WALL_SECONDS",
+    "TBON_RETRIES", "TBON_CORRUPT_DETECTED", "FAULTS_INJECTED",
     "KNOWN_COUNTERS", "pipeline_runs", "pipeline_wall_seconds",
     "is_known_counter",
 ]
@@ -79,6 +80,13 @@ TBON_PARTIAL_MERGES = "tbon.partial_merges"
 TBON_SNAPSHOTS = "tbon.snapshots"
 #: wall seconds spent simulating streaming reductions (timer)
 TBON_STREAM_WALL_SECONDS = "tbon.stream_wall_seconds"
+#: bounded retry attempts spent absorbing injected faults
+#: (``tbon/network.py``, ``tbon/streaming.py``)
+TBON_RETRIES = "tbon.retries"
+#: corrupted payloads caught by the receiver-side checksum
+TBON_CORRUPT_DETECTED = "tbon.corrupt_detected"
+#: fault events fired by a bound ``FaultPlan`` (``faults/inject.py``)
+FAULTS_INJECTED = "faults.injected"
 
 def _collect_counter_constants() -> frozenset:
     """Every fixed counter name, derived from this module's constants.

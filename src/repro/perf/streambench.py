@@ -43,10 +43,14 @@ from repro.core.merge import (
     LabelScheme,
 )
 from repro.core.taskset import TaskMap
+from repro.faults.plan import DaemonCrash, DaemonStall, FaultPlan, \
+    LinkFault
 from repro.machine.bgl import BGLMachine
 from repro.mpi.stacks import BGLStackModel
 from repro.perf.bench import FULL_DAEMONS, REGRESSION_FACTOR, \
     VN_TASKS_PER_DAEMON, _best
+from repro.perf.counters import FAULTS_INJECTED, PERF, \
+    TBON_CORRUPT_DETECTED, TBON_RETRIES
 from repro.statbench import ring_hang_states
 from repro.statbench.emulator import DaemonTrees, STATBenchEmulator
 from repro.tbon.network import TBONetwork
@@ -101,6 +105,12 @@ class StreamBenchReport:
     seed: int = 208_000
     entries: List[StreamBenchEntry] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: fault-path visibility (``faults.injected``, ``tbon.retries``,
+    #: ``tbon.corrupt_detected``) from the seeded fault demo — shown in
+    #: the table and recorded in the JSON, never gated against the
+    #: baseline (entries without a baseline match fail the strict gate,
+    #: so fault visibility rides as an extra report field instead).
+    fault_counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +121,7 @@ class StreamBenchReport:
     def to_dict(self) -> Dict:
         return {"version": self.version, "workload": self.workload,
                 "seed": self.seed, "wall_seconds": self.wall_seconds,
+                "fault_counters": dict(self.fault_counters),
                 "entries": [asdict(e) for e in self.entries]}
 
     def write(self, path: str) -> None:
@@ -130,6 +141,10 @@ class StreamBenchReport:
                 f"{e.ttft * 1e3:>7.2f}ms {e.ttfinal:>8.3f}s "
                 f"{e.ttft_ratio:>6.1%} {e.partial_merges:>6} "
                 f"{str(e.equal):>6}")
+        if self.fault_counters:
+            pairs = ", ".join(f"{name}={value:g}" for name, value
+                              in sorted(self.fault_counters.items()))
+            lines.append(f"fault demo: {pairs}")
         lines.append(f"({len(self.entries)} entries in "
                      f"{self.wall_seconds:.1f} wall s)")
         return "\n".join(lines)
@@ -195,6 +210,43 @@ def _bench_stream_scheme(scheme: LabelScheme, daemons: int, samples: int,
     )
 
 
+def _fault_demo(seed: int, daemons: int = 16,
+                samples: int = 2) -> Dict[str, float]:
+    """One small seeded faulted streamed reduction; PERF deltas.
+
+    Exercises every fault counter on a fixed plan — a crashed daemon,
+    a stalled daemon absorbed by retries, and a mildly corrupting
+    ingress link — so ``bench --stream`` output shows the fault path
+    is alive.  Deterministic for a given ``seed``.
+    """
+    tasks = daemons * VN_TASKS_PER_DAEMON
+    emulator = STATBenchEmulator(
+        TaskMap.block(daemons, VN_TASKS_PER_DAEMON),
+        HierarchicalLabelScheme(), BGLStackModel(),
+        ring_hang_states(tasks), num_samples=samples, seed=seed)
+    forest = emulator.build_forest()
+    plan = FaultPlan(
+        seed=seed,
+        crashes=(DaemonCrash(rank=daemons - 1),),
+        stalls=(DaemonStall(rank=1, duration=4.0),),
+        links=(LinkFault(corrupt_p=0.12),),
+    )
+    before = {name: PERF.get(name) for name in
+              (FAULTS_INJECTED, TBON_RETRIES, TBON_CORRUPT_DETECTED)}
+    StreamingTBON(Topology.bgl_two_deep(daemons),
+                  BGLMachine.with_io_nodes(daemons, "vn")).reduce(
+        leaf_payload_fn=lambda rank: forest[rank],
+        merge_fn=emulator.merge_filter(),
+        payload_nbytes=DaemonTrees.serialized_bytes,
+        payload_nodes=DaemonTrees.node_count,
+        on_daemon_failure="skip",
+        config=StreamConfig(seed=seed),
+        faults=plan.bind(daemons),
+    )
+    return {name: PERF.get(name) - start
+            for name, start in before.items()}
+
+
 def run_stream_bench(daemons: Optional[int] = None,
                      samples: Optional[int] = None,
                      repeats: Optional[int] = None,
@@ -221,6 +273,8 @@ def run_stream_bench(daemons: Optional[int] = None,
                  f"({daemons * VN_TASKS_PER_DAEMON} tasks) ...")
         report.entries.append(
             _bench_stream_scheme(scheme, daemons, samples, repeats, seed))
+    progress("bench: seeded fault demo (crash + stall + corrupt) ...")
+    report.fault_counters = _fault_demo(seed)
     report.wall_seconds = time.perf_counter() - start
     return report
 

@@ -29,13 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import RetryPolicy
 from repro.machine.base import MachineModel
 from repro.perf.counters import (
     PERF,
     TBON_BYTES,
+    TBON_CORRUPT_DETECTED,
     TBON_MESSAGES,
     TBON_REDUCE_WALL_SECONDS,
     TBON_REDUCTIONS,
+    TBON_RETRIES,
 )
 from repro.tbon.topology import Role, Topology, TopologyNode
 
@@ -102,6 +106,14 @@ class ReduceResult:
     per_level_bytes: Dict[int, int] = field(default_factory=dict)
     #: daemons that failed and were skipped (on_daemon_failure="skip")
     missing_daemons: List[int] = field(default_factory=list)
+    #: bounded retry attempts spent absorbing injected faults
+    retries: int = 0
+    #: transmissions lost in flight on faulted links
+    dropped_messages: int = 0
+    #: corrupted payloads caught by the receiver-side checksum
+    corrupt_detected: int = 0
+    #: degradation events (leaf deaths + exhausted-uplink subtree losses)
+    missing_subtrees: int = 0
 
     def network_profile(self) -> str:
         """Human-readable transfer/filter accounting (per tree level)."""
@@ -115,6 +127,11 @@ class ReduceResult:
         for level in sorted(self.per_level_bytes):
             mb = self.per_level_bytes[level] / 1e6
             lines.append(f"  level {level} ingress: {mb:.3f} MB")
+        if self.retries or self.dropped_messages or self.corrupt_detected:
+            lines.append(
+                f"  faults: {self.retries} retries, "
+                f"{self.dropped_messages} dropped, "
+                f"{self.corrupt_detected} corrupt (detected)")
         if self.missing_daemons:
             lines.append(f"  MISSING daemons: {self.missing_daemons}")
         return "\n".join(lines)
@@ -218,6 +235,19 @@ class TBONCostBase:
         return result
 
 
+def _subtree_ranks(node: TopologyNode) -> List[int]:
+    """Daemon ranks under ``node`` (the node itself when a leaf)."""
+    out: List[int] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            out.append(current.rank)
+        else:
+            stack.extend(current.children)
+    return out
+
+
 class TBONetwork(TBONCostBase):
     """A batch-mode TBO̅N instance bound to a topology and a machine.
 
@@ -235,6 +265,8 @@ class TBONetwork(TBONCostBase):
                leaf_ready_time: Callable[[int], float] = lambda d: 0.0,
                on_daemon_failure: str = "raise",
                failure_detect_s: float = 5.0,
+               faults: Optional[FaultInjector] = None,
+               retry: Optional[RetryPolicy] = None,
                ) -> ReduceResult:
         """Run one filtered reduction from all daemons to the front end.
 
@@ -257,6 +289,17 @@ class TBONetwork(TBONCostBase):
             source; ``"skip"`` drops the dead daemon's subtree, records it
             in :attr:`ReduceResult.missing_daemons`, and charges a
             ``failure_detect_s`` socket-timeout to its parent.
+        faults:
+            Optional bound :class:`~repro.faults.inject.FaultInjector`.
+            Injected crashes/stalls/stragglers apply at the leaves;
+            link drop/corruption applies per transmission, each failed
+            attempt retried under the retry policy and charged as
+            simulated cost.  An injector bound from an empty plan is a
+            guaranteed no-op (bit-identical result and timing).
+        retry:
+            Optional :class:`~repro.faults.plan.RetryPolicy` override;
+            defaults to ``faults.retry``.  Only consulted when
+            ``faults`` is given.
 
         Returns
         -------
@@ -278,16 +321,41 @@ class TBONetwork(TBONCostBase):
         nodes_of = payload_nodes or (lambda p: 0)
         stats = ReduceResult(payload=None, sim_time=0.0)
         _DEAD = object()
+        policy = retry if retry is not None else \
+            (faults.retry if faults is not None else RetryPolicy())
+        missing_seen: set = set()
+
+        def record_missing(rank: int) -> None:
+            if rank not in missing_seen:
+                missing_seen.add(rank)
+                stats.missing_daemons.append(rank)
 
         def visit(node: TopologyNode, level: int) -> Tuple[Any, float]:
             if node.is_leaf:
+                rank = node.rank
+                if faults is not None:
+                    when, alive, spent = faults.leaf_outcome(
+                        rank, leaf_ready_time(rank), policy,
+                        failure_detect_s)
+                    if spent:
+                        stats.retries += spent
+                        PERF.add(TBON_RETRIES, spent)
+                    if not alive:
+                        if on_daemon_failure == "raise":
+                            raise DaemonFailure(
+                                f"daemon {rank} lost to injected fault")
+                        record_missing(rank)
+                        stats.missing_subtrees += 1
+                        return _DEAD, when
+                else:
+                    when = leaf_ready_time(rank)
                 try:
-                    return leaf_payload_fn(node.rank), \
-                        leaf_ready_time(node.rank)
+                    return leaf_payload_fn(rank), when
                 except DaemonFailure:
                     if on_daemon_failure == "raise":
                         raise
-                    stats.missing_daemons.append(node.rank)
+                    record_missing(rank)
+                    stats.missing_subtrees += 1
                     return _DEAD, failure_detect_s
 
             self._check_fanout(node)
@@ -296,6 +364,9 @@ class TBONetwork(TBONCostBase):
             ends: List[float] = []
             nic_free = 0.0
             ingress_bytes = 0
+            lost_slots: set = set()
+            link = None if faults is None else \
+                faults.link_params(node.node_id)
             child_results = [visit(child, level + 1)
                              for child in node.children]
             # Transfers serialize on the NIC earliest-ready-first (MRNet's
@@ -313,17 +384,59 @@ class TBONetwork(TBONCostBase):
                     ends.append(ready)
                     continue
                 nbytes = payload_nbytes(payload)
-                ingress_bytes += nbytes
-                stats.bytes_total += nbytes
-                stats.messages += 1
-                stats.per_level_bytes[level] = \
-                    stats.per_level_bytes.get(level, 0) + nbytes
-                start = max(ready, nic_free)
-                end = start + self.machine.transfer_time(nbytes)
-                nic_free = end
-                ends.append(end)
-            payloads = [payload for payload, _ in child_results
-                        if payload is not _DEAD]
+                if link is None:
+                    ingress_bytes += nbytes
+                    stats.bytes_total += nbytes
+                    stats.messages += 1
+                    stats.per_level_bytes[level] = \
+                        stats.per_level_bytes.get(level, 0) + nbytes
+                    start = max(ready, nic_free)
+                    end = start + self.machine.transfer_time(nbytes)
+                    nic_free = end
+                    ends.append(end)
+                    continue
+                # Faulted ingress link: every attempt is one real
+                # transmission — a drop burns the per-attempt timeout, a
+                # corruption is caught by the receiver's checksum and
+                # retried — and an exhausted budget degrades the whole
+                # child subtree to missing_daemons.
+                t = max(ready, nic_free)
+                delivered = False
+                for attempt in range(policy.max_retries + 1):
+                    fate = faults.link_fate(node.node_id, i, attempt)
+                    if fate == "drop":
+                        stats.dropped_messages += 1
+                        t += policy.timeout_s
+                    else:
+                        t += self.machine.transfer_time(nbytes)
+                        stats.bytes_total += nbytes
+                        stats.messages += 1
+                        stats.per_level_bytes[level] = \
+                            stats.per_level_bytes.get(level, 0) + nbytes
+                        if faults.deliver_ok(payload, fate):
+                            delivered = True
+                            if attempt:
+                                faults.note_absorbed()
+                            break
+                        stats.corrupt_detected += 1
+                        PERF.add(TBON_CORRUPT_DETECTED)
+                    if attempt < policy.max_retries:
+                        stats.retries += 1
+                        PERF.add(TBON_RETRIES)
+                        t += policy.backoff_s(attempt)
+                nic_free = t
+                ends.append(t)
+                if delivered:
+                    ingress_bytes += nbytes
+                else:
+                    lost_slots.add(i)
+                    stats.missing_subtrees += 1
+                    for lost_rank in sorted(
+                            _subtree_ranks(node.children[i])):
+                        record_missing(lost_rank)
+            payloads = [payload
+                        for j, (payload, _) in enumerate(child_results)
+                        if payload is not _DEAD and j not in lost_slots]
             del child_results
 
             self._check_ingress(node, ingress_bytes)

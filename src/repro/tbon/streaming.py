@@ -52,12 +52,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import RetryPolicy
 from repro.perf.counters import (
     PERF,
     TBON_BYTES,
+    TBON_CORRUPT_DETECTED,
     TBON_MESSAGES,
     TBON_PARTIAL_MERGES,
     TBON_REDUCTIONS,
+    TBON_RETRIES,
     TBON_SNAPSHOTS,
     TBON_STREAM_WALL_SECONDS,
 )
@@ -142,6 +146,14 @@ class StreamResult:
     per_level_bytes: Dict[int, int] = field(default_factory=dict)
     #: daemons that died in-flight and were degraded to missing ranklists
     missing_daemons: List[int] = field(default_factory=list)
+    #: bounded retry attempts spent absorbing injected faults
+    retries: int = 0
+    #: transmissions lost in flight on faulted links
+    dropped_messages: int = 0
+    #: corrupted payloads caught by the receiver-side checksum
+    corrupt_detected: int = 0
+    #: degradation events (leaf deaths + exhausted-uplink subtree losses)
+    missing_subtrees: int = 0
 
 
 # -- per-node simulation state ------------------------------------------------
@@ -208,6 +220,8 @@ class StreamingReduction:
                  config: StreamConfig,
                  progress_fn: Optional[
                      Callable[[str, Dict[str, float]], None]] = None,
+                 faults: Optional[FaultInjector] = None,
+                 retry: Optional[RetryPolicy] = None,
                  ) -> None:
         if on_daemon_failure not in ("raise", "skip"):
             raise ValueError(
@@ -215,6 +229,9 @@ class StreamingReduction:
                 f"got {on_daemon_failure!r}")
         self.net = net
         self.config = config
+        self._faults = faults
+        self._retry = retry if retry is not None else \
+            (faults.retry if faults is not None else RetryPolicy())
         self.engine = Engine()
         self._leaf_payload_fn = leaf_payload_fn
         self._merge_fn = merge_fn
@@ -297,6 +314,22 @@ class StreamingReduction:
         rank = leaf_st.node.rank
         death = self.config.death_times.get(rank)
         detect = self.config.failure_detect_s
+        faults = self._faults
+        if faults is not None:
+            when, alive, spent = faults.leaf_outcome(
+                rank, emit_time, self._retry, detect)
+            if spent:
+                self._stats.retries += spent
+                PERF.add(TBON_RETRIES, spent)
+            if not alive:
+                if self._on_daemon_failure == "raise":
+                    raise DaemonFailure(
+                        f"daemon {rank} lost to injected fault")
+                # The parent gives up at `when` — crash detection
+                # timeout, or the end of an exhausted retry budget.
+                self._record_dead(rank, parent_st, slot, when)
+                return
+            emit_time = when
         if death is not None and death < emit_time:
             # Dies before emitting: the parent's socket times out.
             yield self.engine.timeout(death)
@@ -327,6 +360,7 @@ class StreamingReduction:
     def _record_dead(self, rank: int, parent_st: _InteriorState,
                      slot: int, detect_time: float) -> None:
         self._stats.missing_daemons.append(rank)
+        self._stats.missing_subtrees += 1
         self.engine.schedule(
             detect_time, lambda: self._mark_missing(parent_st, slot))
 
@@ -337,17 +371,65 @@ class StreamingReduction:
     def _transfer(self, sender_st, parent_st: _InteriorState, slot: int,
                   payload: Any, ranks: Tuple[int, ...]):
         """Move one payload across a link: serialize on the receiver's
-        ingress NIC, then hand ownership over atomically on arrival."""
+        ingress NIC, then hand ownership over atomically on arrival.
+
+        On a faulted link every attempt is one real transmission — a
+        drop burns the per-attempt timeout, a corruption is caught by
+        the receiver's checksum and retried — and an exhausted retry
+        budget degrades the sender's whole subtree to missing ranklists
+        (the exactly-once invariant holds: the payload leaves the
+        network in the same event that declares it lost).
+        """
+        stats = self._stats
         nbytes = self._payload_nbytes(payload)
-        yield parent_st.nic.acquire()
-        try:
-            seconds = self.net.machine.transfer_time(nbytes)
-            if self.config.link_jitter > 0:
-                seconds *= 1.0 + float(
-                    parent_st.link_rng.uniform(0.0, self.config.link_jitter))
-            yield self.engine.timeout(seconds)
-        finally:
-            parent_st.nic.release()
+        faults = self._faults
+        policy = self._retry
+        link = None if faults is None else \
+            faults.link_params(parent_st.node.node_id)
+        attempt = 0
+        while True:
+            fate = "ok" if link is None else \
+                faults.link_fate(parent_st.node.node_id, slot, attempt)
+            if fate == "drop":
+                stats.dropped_messages += 1
+                yield self.engine.timeout(policy.timeout_s)
+            else:
+                yield parent_st.nic.acquire()
+                try:
+                    seconds = self.net.machine.transfer_time(nbytes)
+                    if self.config.link_jitter > 0:
+                        seconds *= 1.0 + float(
+                            parent_st.link_rng.uniform(
+                                0.0, self.config.link_jitter))
+                    yield self.engine.timeout(seconds)
+                finally:
+                    parent_st.nic.release()
+                stats.bytes_total += nbytes
+                stats.messages += 1
+                stats.per_level_bytes[parent_st.level] = \
+                    stats.per_level_bytes.get(parent_st.level, 0) + nbytes
+                if fate == "ok" or faults.deliver_ok(payload, fate):
+                    break
+                stats.corrupt_detected += 1
+                PERF.add(TBON_CORRUPT_DETECTED)
+            if attempt >= policy.max_retries:
+                if isinstance(sender_st, _LeafState):
+                    sender_st.visible = None
+                    sender_st.ranks = ()
+                else:
+                    sender_st.partial = None
+                    sender_st.partial_ranks = ()
+                stats.missing_subtrees += 1
+                for lost_rank in sorted(ranks):
+                    stats.missing_daemons.append(lost_rank)
+                self._mark_missing(parent_st, slot)
+                return
+            stats.retries += 1
+            PERF.add(TBON_RETRIES)
+            yield self.engine.timeout(policy.backoff_s(attempt))
+            attempt += 1
+        if link is not None and attempt:
+            faults.note_absorbed()
         # Arrival: visibility moves from sender to the receiver's
         # reorder buffer in one event — never double-counted, never lost.
         if isinstance(sender_st, _LeafState):
@@ -356,11 +438,6 @@ class StreamingReduction:
         else:
             sender_st.partial = None
             sender_st.partial_ranks = ()
-        stats = self._stats
-        stats.bytes_total += nbytes
-        stats.messages += 1
-        stats.per_level_bytes[parent_st.level] = \
-            stats.per_level_bytes.get(parent_st.level, 0) + nbytes
         parent_st.ingress_bytes += nbytes
         self.net._check_ingress(parent_st.node, parent_st.ingress_bytes)
         stats.max_node_ingress_bytes = max(
@@ -539,6 +616,8 @@ class StreamingTBON(TBONCostBase):
                config: Optional[StreamConfig] = None,
                progress_fn: Optional[
                    Callable[[str, Dict[str, float]], None]] = None,
+               faults: Optional[FaultInjector] = None,
+               retry: Optional[RetryPolicy] = None,
                ) -> StreamingReduction:
         """Wire up (but do not run) one streamed reduction.
 
@@ -548,11 +627,18 @@ class StreamingTBON(TBONCostBase):
         streaming.  ``progress_fn(event, info)`` is invoked inside the
         simulation at ``"first_tree"`` (earliest emission) and every
         ``"root_fold"`` (front-end commit, with coverage counts).
+        ``faults`` binds a :class:`~repro.faults.plan.FaultPlan` to the
+        run: injected crashes/stalls/stragglers shift or kill daemon
+        emissions, link faults drop/corrupt transmissions (each failed
+        attempt retried under ``retry``, default ``faults.retry``), and
+        exhausted budgets degrade to missing ranklists.  An injector
+        bound from an empty plan is a guaranteed no-op.
         """
         return StreamingReduction(
             self, leaf_payload_fn, merge_fn, payload_nbytes,
             payload_nodes, leaf_ready_time, on_daemon_failure,
-            config or StreamConfig(), progress_fn=progress_fn)
+            config or StreamConfig(), progress_fn=progress_fn,
+            faults=faults, retry=retry)
 
     def reduce(self, *args: Any, **kwargs: Any) -> StreamResult:
         """Convenience: :meth:`stream` then run to completion."""
